@@ -1,0 +1,37 @@
+"""Figure 3: single-cycle PE area/power breakdown."""
+
+import pytest
+
+from repro.eval import figure3
+
+
+def test_figure3(benchmark):
+    data = benchmark(figure3.compute)
+
+    assert data["total_area_um2"] == pytest.approx(
+        figure3.PAPER["total_area_um2"])
+    assert data["total_power_mw"] == pytest.approx(
+        figure3.PAPER["total_power_mw"])
+
+    imem = data["components"]["instruction_memory"]
+    assert imem["area_fraction"] == pytest.approx(
+        figure3.PAPER["instruction_memory_area"])
+    assert imem["power_fraction"] == pytest.approx(
+        figure3.PAPER["instruction_memory_power"])
+
+    sched = data["components"]["scheduler"]
+    assert sched["area_fraction"] == pytest.approx(figure3.PAPER["scheduler_area"])
+    assert sched["power_fraction"] == pytest.approx(figure3.PAPER["scheduler_power"])
+
+    queues = data["components"]["queues"]
+    assert queues["area_fraction"] == pytest.approx(figure3.PAPER["queues_area"])
+    assert queues["power_fraction"] == pytest.approx(figure3.PAPER["queues_power"])
+
+    split = data["split"]
+    assert split["front_area"] == pytest.approx(figure3.PAPER["front_area"], abs=0.01)
+    assert split["back_area"] == pytest.approx(figure3.PAPER["back_area"], abs=0.01)
+    assert split["front_power"] == pytest.approx(figure3.PAPER["front_power"], abs=0.01)
+    assert split["back_power"] == pytest.approx(figure3.PAPER["back_power"], abs=0.01)
+
+    print()
+    print(figure3.render())

@@ -1,0 +1,40 @@
+"""Figure 6: energy-delay frontiers per supply voltage."""
+
+from repro.eval import figure6
+
+
+def test_figure6(benchmark, design_points):
+    data = benchmark.pedantic(
+        lambda: figure6.compute(points=design_points), rounds=1, iterations=1)
+
+    # A large characterized space (paper: over 4,000 points across the
+    # 32-microarchitecture matrix; including the padded alternates used in
+    # Section 5.4 pushes the modeled space past that).
+    assert len(data["points"]) > 3000
+
+    # One frontier per characterized supply voltage.
+    assert set(data["frontiers"]) == {0.4, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+    # Lower supplies trace lower-energy, slower frontiers.
+    fastest_1v = data["frontiers"][1.0][0].ns_per_instruction
+    fastest_04v = data["frontiers"][0.4][0].ns_per_instruction
+    assert fastest_1v < fastest_04v
+    leanest_1v = min(p.pj_per_instruction for p in data["frontiers"][1.0])
+    leanest_04v = min(p.pj_per_instruction for p in data["frontiers"][0.4])
+    assert leanest_04v < leanest_1v
+
+    # The whole-space span: paper reports 71x energy and 225x delay.
+    span = data["span"]
+    assert 30 <= span["energy_span"] <= 200
+    assert 100 <= span["delay_span"] <= 600
+    assert span["min_pj"] < 1.5        # sub-picojoule territory (paper 0.67)
+    assert span["max_ns"] > 200        # hundreds of ns at the slow extreme
+
+    # The performance extreme is low-VT; the low-power tail is high-VT.
+    fastest = min(data["points"], key=lambda p: p.ns_per_instruction)
+    leanest = min(data["points"], key=lambda p: p.pj_per_instruction)
+    assert fastest.vt.value == "lvt"
+    assert leanest.vt.value == "hvt"
+
+    print()
+    print(figure6.render(points=design_points))

@@ -1,0 +1,43 @@
+"""Figure 8: parametric analysis of the Pareto-optimal designs."""
+
+from repro.eval import figure8
+
+
+def test_figure8(benchmark, design_points):
+    data = benchmark.pedantic(
+        lambda: figure8.compute(points=design_points), rounds=1, iterations=1)
+    frontier = data["frontier"]
+    rows = data["rows"]
+
+    assert len(frontier) >= 10
+
+    # Two-stage pipelines with both optimizations trace most of the
+    # frontier (the paper's T|DX +P+Q observation).
+    two_stage_pq = [r for r in rows if r["design"] in
+                    ("T|DX +P+Q", "TD|X +P+Q", "TDX1|X2 +P+Q", "TDX1|X2 +Q")]
+    assert len(two_stage_pq) >= len(rows) * 0.4
+
+    # The single-cycle TDX stays competitive through the low-power region.
+    tdx_rows = [r for r in rows if r["design"] == "TDX"]
+    assert tdx_rows, "TDX should appear on the frontier"
+    assert all(r["pj_per_instruction"] < 5 for r in tdx_rows)
+
+    # The performance extreme is a two-stage low-VT design...
+    fastest = rows[0]
+    assert fastest["vt"] == "lvt"
+    assert fastest["ns_per_instruction"] < 2.0
+    # ...and the low-power extreme is high-VT at sub-picojoule energy
+    # (paper: 0.89 pJ for the frontier design, 0.67 pJ space minimum).
+    low_power = data["low_power"].row()
+    assert low_power["vt"] == "hvt"
+    assert low_power["pj_per_instruction"] < 1.5
+
+    # Little area variance across the frontier (paper observation).
+    areas = [r["mm2"] for r in rows]
+    assert max(areas) / min(areas) < 2.0
+
+    # All power densities sit below the 65 nm CPU/GPU envelopes.
+    assert data["max_density"] < figure8.PAPER["cpu_density_mean"]
+
+    print()
+    print(figure8.render(points=design_points))

@@ -1,0 +1,57 @@
+"""Sections 4 / 5.4: every scalar area/power/timing claim."""
+
+import pytest
+
+from repro.eval import overheads
+
+
+def test_overheads(benchmark):
+    data = benchmark(overheads.compute)
+    paper = overheads.PAPER
+    features = data["features"]
+
+    assert features["base"]["area_um2"] == pytest.approx(
+        paper["pipe4_area_um2"], rel=1e-3)
+    assert features["base"]["power_mw"] == pytest.approx(
+        paper["pipe4_power_mw"], rel=0.005)
+    assert features["+P"]["area_um2"] == pytest.approx(
+        paper["p_area_um2"], rel=1e-3)
+    assert features["+P"]["power_mw"] == pytest.approx(
+        paper["p_power_mw"], rel=0.005)
+    assert features["+Q"]["area_um2"] == pytest.approx(
+        paper["q_area_um2"], rel=1e-3)
+    assert features["+P+Q"]["area_um2"] == pytest.approx(
+        paper["pq_area_um2"], rel=1e-3)
+    assert features["+P+Q"]["power_mw"] == pytest.approx(
+        paper["pq_power_mw"], rel=0.005)
+    assert features["padded"]["area_um2"] == pytest.approx(
+        paper["padded_area_um2"], rel=1e-3)
+    assert features["padded"]["power_mw"] == pytest.approx(
+        paper["padded_power_mw"], rel=0.005)
+
+    # Combined features: +1.4% area, +8% power (Section 5.4).
+    assert features["+P+Q"]["area_um2"] / features["base"]["area_um2"] - 1 == \
+        pytest.approx(0.014, abs=0.002)
+    assert features["+P+Q"]["power_mw"] / features["base"]["power_mw"] - 1 == \
+        pytest.approx(0.08, abs=0.01)
+
+    # Padding instead: +13% area, +12% power.
+    assert features["padded"]["area_um2"] / features["base"]["area_um2"] - 1 == \
+        pytest.approx(0.13, abs=0.01)
+
+    assert data["pipe_register_mw"] == pytest.approx(
+        paper["pipe_register_mw"], abs=0.002)
+    assert data["trigger_fo4"] == pytest.approx(paper["trigger_fo4"])
+    assert data["trigger_fo4_with_p"] == pytest.approx(
+        paper["trigger_fo4_with_p"])
+    assert data["pipe4_fmax_mhz"] == pytest.approx(
+        paper["pipe4_fmax_mhz"], rel=0.001)
+
+    storage = data["storage"]
+    assert storage["mixed_vs_register_area"] == pytest.approx(-0.16, abs=0.005)
+    assert storage["mixed_vs_register_power"] == pytest.approx(-0.24, abs=0.005)
+    assert storage["mixed_vs_latch_area"] == pytest.approx(-0.09, abs=0.005)
+    assert storage["mixed_vs_latch_power"] == pytest.approx(-0.19, abs=0.005)
+
+    print()
+    print(overheads.render())

@@ -1,0 +1,54 @@
+"""Paper-scale validation run (Section 3).
+
+The authors extracted VLSI activity from a bst execution of roughly
+90,000-160,000 cycles depending on the microarchitecture.  This bench
+runs bst at a comparable scale on the single-cycle baseline and on the
+deepest pipeline with and without the optimizations, checking that the
+cycle counts land in the paper's order-of-magnitude band and that the
+microarchitectural ordering holds at full scale, not just on the small
+test inputs.
+"""
+
+from repro.pipeline import PipelinedPE, config_by_name
+from repro.workloads import run_workload
+
+SCALE = 400   # keys searched; ~10 tree levels -> ~100k cycles baseline
+
+
+def _run(config_name):
+    config = config_by_name(config_name)
+    return run_workload(
+        "bst",
+        make_pe=lambda name: PipelinedPE(config, name=name),
+        scale=SCALE,
+    )
+
+
+def test_bst_at_paper_scale(benchmark):
+    def measure():
+        return {
+            "TDX": _run("TDX"),
+            "T|D|X1|X2": _run("T|D|X1|X2"),
+            "T|D|X1|X2 +P+Q": _run("T|D|X1|X2 +P+Q"),
+        }
+
+    runs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    cycles = {name: run.cycles for name, run in runs.items()}
+
+    # Order-of-magnitude band of the paper's activity-extraction runs.
+    for name, count in cycles.items():
+        assert 50_000 <= count <= 400_000, (name, count)
+
+    # The microarchitectural ordering survives at full scale.
+    assert cycles["TDX"] < cycles["T|D|X1|X2 +P+Q"] < cycles["T|D|X1|X2"]
+
+    # The optimizations recover a large share of the pipelining loss.
+    loss = cycles["T|D|X1|X2"] - cycles["TDX"]
+    recovered = cycles["T|D|X1|X2"] - cycles["T|D|X1|X2 +P+Q"]
+    assert recovered > 0.35 * loss
+
+    retired = runs["TDX"].worker_counters.retired
+    print(f"\nbst at scale {SCALE}: {retired} worker instructions retired")
+    for name, count in cycles.items():
+        print(f"  {name:18s} {count:7d} cycles "
+              f"(CPI {runs[name].worker_counters.cpi:.2f})")

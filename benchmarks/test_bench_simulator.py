@@ -1,0 +1,60 @@
+"""Simulator throughput microbenchmarks (not a paper exhibit).
+
+Tracks the cost of the building blocks so performance regressions in the
+simulators show up in benchmark runs.
+"""
+
+from repro.arch import FunctionalPE
+from repro.asm import assemble
+from repro.isa.encoding import decode_program
+from repro.params import DEFAULT_PARAMS
+from repro.pipeline import PipelinedPE, config_by_name
+
+LOOP = """
+when %p == XXXXXXX0:
+    ult %p1, %r0, $1000000; set %p = ZZZZZZZ1;
+when %p == XXXXXX11:
+    add %r0, %r0, $1; set %p = ZZZZZZ00;
+when %p == XXXXXX01:
+    halt;
+"""
+
+
+def _run_cycles(pe, cycles):
+    for _ in range(cycles):
+        pe.step()
+        pe.commit_queues()
+    return pe.counters.retired
+
+
+def test_functional_simulator_throughput(benchmark):
+    pe = FunctionalPE(name="bench")
+    assemble(LOOP).configure(pe)
+    retired = benchmark(_run_cycles, pe, 2_000)
+    assert retired > 0
+
+
+def test_pipelined_simulator_throughput(benchmark):
+    pe = PipelinedPE(config_by_name("T|D|X1|X2 +P+Q"), name="bench")
+    assemble(LOOP).configure(pe)
+    retired = benchmark(_run_cycles, pe, 2_000)
+    assert retired > 0
+
+
+def test_assembler_throughput(benchmark):
+    source = "\n".join(
+        f"when %p == XXXXXX{i % 4:02b} with %i{i % 4}.1:\n"
+        f"    add %r{i % 8}, %r{(i + 3) % 8}, %i{i % 4}; deq %i{i % 4};"
+        for i in range(16)
+    )
+    program = benchmark(assemble, source)
+    assert len(program) == 16
+
+
+def test_decoder_throughput(benchmark):
+    source = "\n".join(
+        "when %p == XXXXXXXX:\n    add %r0, %r1, %r2;" for _ in range(16)
+    )
+    blob = assemble(source).binary(DEFAULT_PARAMS)
+    instructions = benchmark(decode_program, blob, DEFAULT_PARAMS)
+    assert len(instructions) == 16

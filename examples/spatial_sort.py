@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Spatial merge: the paper's high-radix merge-sort building block.
+
+Two PEs stream sorted lists from memory; a merge worker PE combines them
+into one sorted list in memory (the Table 3 ``merge`` fabric).  This is
+the processing-chain pattern the paper highlights: each PE works on the
+current data item and hands it downstream, so the whole fabric behaves
+like a pipeline whose throughput is set by a single PE's latency —
+exactly why the intra-PE microarchitecture matters at the system level.
+
+The example merges with the single-cycle baseline and with the deepest
+pipeline, with and without the hazard optimizations, and reports how the
+worker's CPI (and the fabric's total cycles) respond.
+
+Run:  python examples/spatial_sort.py [elements]
+"""
+
+import random
+import sys
+
+from repro import PipelinedPE, System, config_by_name
+from repro.workloads.common import memory_streamer
+from repro.workloads.merge import merge_program
+
+
+def merge_on(config_name: str, xs: list[int], ys: list[int]) -> dict:
+    config = config_by_name(config_name)
+    n = len(xs)
+    out_base = 2 * n
+
+    system = System(memory_words=4 * n + 64)
+    stream_a = PipelinedPE(config, name="stream_a")
+    stream_b = PipelinedPE(config, name="stream_b")
+    worker = PipelinedPE(config, name="worker")
+    memory_streamer(0, n, eos="sentinel").configure(stream_a)
+    memory_streamer(n, n, eos="sentinel").configure(stream_b)
+    merge_program(worker.params, out_base).configure(worker)
+    for pe in (stream_a, stream_b, worker):
+        system.add_pe(pe)
+    system.add_read_port(stream_a, request_out=0, response_in=0)
+    system.add_read_port(stream_b, request_out=0, response_in=0)
+    system.connect(stream_a, 1, worker, 0)
+    system.connect(stream_b, 1, worker, 3)
+    system.add_write_port(worker, 1, worker, 2)
+    system.memory.preload(xs, base=0)
+    system.memory.preload(ys, base=n)
+
+    cycles = system.run()
+    merged = system.memory.dump(out_base, 2 * n)
+    assert merged == sorted(xs + ys), "merge produced an unsorted list!"
+    return {
+        "cycles": cycles,
+        "worker_cpi": worker.counters.cpi,
+        "stack": worker.counters.stack(),
+    }
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 128
+    rng = random.Random(7)
+    xs = sorted(rng.randrange(1 << 30) for _ in range(n))
+    ys = sorted(rng.randrange(1 << 30) for _ in range(n))
+    print(f"merging two sorted lists of {n} elements on four "
+          f"microarchitectures\n")
+
+    baseline_cycles = None
+    for name in ("TDX", "T|D|X1|X2", "T|D|X1|X2 +P", "T|D|X1|X2 +P+Q"):
+        result = merge_on(name, xs, ys)
+        if baseline_cycles is None:
+            baseline_cycles = result["cycles"]
+        slowdown = result["cycles"] / baseline_cycles
+        stack = result["stack"]
+        print(f"{name:18s} cycles={result['cycles']:6d} "
+              f"(x{slowdown:4.2f} vs TDX)  worker CPI={result['worker_cpi']:5.2f}  "
+              f"pred={stack['predicate_hazard']:.2f} "
+              f"none={stack['none_triggered']:.2f} "
+              f"forb={stack['forbidden']:.2f}")
+
+    print(
+        "\nPipelining alone inflates CPI through predicate and queue "
+        "hazards;\npredicate prediction (+P) and effective queue status "
+        "(+Q) win most of it back\n— the merge worker's comparisons are "
+        "data-dependent, so this is the paper's\nworst case for the "
+        "predictor (Figure 4) and the optimizations still help."
+    )
+
+
+if __name__ == "__main__":
+    main()

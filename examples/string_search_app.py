@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Spatial string search: scan text for a pattern with a 3-PE pipeline.
+
+The paper's introduction motivates spatial accelerators with string
+processing; this example builds the Table 3 ``string_search`` fabric for
+an arbitrary text and pattern:
+
+    reader PE  ->  byte splitter PE  ->  DFA worker PE  ->  memory
+
+The reader streams 32-bit words from memory, the splitter cracks them
+into bytes, and the worker walks a DFA whose expected-character table
+lives in its scratchpad (preloaded by the host, as the paper's toolchain
+allows).  The worker stores a 0/1 word per input byte; ones mark the
+positions where a pattern occurrence completes.
+
+The simple restart rule (on mismatch, restart at state 1 if the byte is
+the pattern's first character, else state 0) is exact for patterns with
+no proper self-overlap — "MICRO" qualifies, as does any pattern whose
+first character never recurs.
+
+Run:  python examples/string_search_app.py [pattern] [repeats]
+"""
+
+import sys
+
+from repro import FunctionalPE, System
+from repro.workloads.common import memory_streamer
+from repro.workloads.string_search import _pack_words, dfa_program, splitter_program
+import repro.workloads.string_search as ss
+
+
+def has_self_overlap(pattern: str) -> bool:
+    """True when the naive restart rule would miss overlapped matches."""
+    for k in range(1, len(pattern)):
+        if pattern[:-k] == pattern[k:] and len(pattern[k:]) > 1:
+            return True
+    return pattern[0] in pattern[1:]
+
+
+def search(text: str, pattern: str) -> list[int]:
+    """Return the byte positions where an occurrence of pattern ends."""
+    data = text.encode("ascii")
+    words = _pack_words(data)
+    out_base = len(words)
+
+    system = System(memory_words=out_base + len(data) + 16)
+    reader = FunctionalPE(name="reader")
+    splitter = FunctionalPE(name="splitter")
+    worker = FunctionalPE(name="worker")
+
+    memory_streamer(0, len(words), eos="sentinel").configure(reader)
+    splitter_program(worker.params).configure(splitter)
+
+    # Point the module-level pattern the DFA uses at ours, then build.
+    ss._PATTERN = pattern
+    dfa_program(worker.params, out_base, len(pattern)).configure(worker)
+    worker.scratchpad.preload([ord(c) for c in pattern])
+
+    for pe in (reader, splitter, worker):
+        system.add_pe(pe)
+    system.add_read_port(reader, request_out=0, response_in=0)
+    system.connect(reader, 1, splitter, 0)
+    system.connect(splitter, 1, worker, 0)
+    system.add_write_port(worker, 1, worker, 2)
+    system.memory.preload(words, base=0)
+
+    cycles = system.run()
+    marks = system.memory.dump(out_base, len(data))
+    positions = [i for i, mark in enumerate(marks) if mark]
+    print(f"  fabric ran {cycles} cycles "
+          f"({system.pe('worker').counters.retired} worker instructions, "
+          f"worker CPI {system.pe('worker').counters.cpi:.2f})")
+    return positions
+
+
+def main() -> None:
+    pattern = sys.argv[1] if len(sys.argv) > 1 else "MICRO"
+    repeats = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    if has_self_overlap(pattern):
+        raise SystemExit(
+            f"pattern {pattern!r} overlaps itself; the single-register DFA "
+            "restart rule needs a non-self-overlapping pattern"
+        )
+
+    filler = "THE QUICK BROWN FOX JUMPS OVER THE LAZY DOG "
+    text = (filler + pattern + " ") * repeats + filler
+    # Pad to a whole number of words.
+    text += "." * (-len(text) % 4)
+
+    print(f"searching {len(text)} characters for {pattern!r} ...")
+    positions = search(text, pattern)
+    expected = []
+    at = text.find(pattern)
+    while at != -1:
+        expected.append(at + len(pattern) - 1)
+        at = text.find(pattern, at + 1)
+    print(f"  matches end at byte positions: {positions}")
+    assert positions == expected, (positions, expected)
+    print(f"  verified against str.find: {len(positions)} occurrence(s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — a reproduction of "Pipelining a Triggered Processing Element"
+(Repetti, Cerqueira, Kim, Seok; MICRO-50, 2017).
+
+The package provides the paper's full stack:
+
+* :mod:`repro.isa` / :mod:`repro.asm` — the triggered integer ISA and
+  its assembler;
+* :mod:`repro.arch` — architectural state and the functional simulator;
+* :mod:`repro.pipeline` — cycle-accurate pipelined PE models with the
+  predicate-prediction (+P) and effective-queue-status (+Q) hazard
+  mitigations;
+* :mod:`repro.fabric` — multi-PE systems with queue-endpoint memory;
+* :mod:`repro.workloads` — the ten Table 3 microbenchmarks;
+* :mod:`repro.vlsi` / :mod:`repro.dse` — the calibrated 65 nm
+  energy-delay model and the >4,000-point design-space exploration;
+* :mod:`repro.eval` — regeneration of every table and figure.
+
+Quickstart::
+
+    from repro import assemble, FunctionalPE, System
+
+    pe = FunctionalPE(name="adder")
+    assemble('''
+        when %p == XXXXXXX0 with %i0.0:
+            add %r0, %r0, %i0; deq %i0;
+        when %p == XXXXXXX0 with %i0.1:
+            add %r0, %r0, %i0; deq %i0; set %p = ZZZZZZZ1;
+        when %p == XXXXXXX1:
+            halt;
+    ''').configure(pe)
+"""
+
+from repro.params import ArchParams, DEFAULT_PARAMS
+from repro.asm import assemble, Program
+from repro.arch import FunctionalPE
+from repro.fabric import System, Memory
+from repro.pipeline import PipelinedPE, PipelineConfig, QueuePolicy, all_configs, config_by_name
+from repro.workloads import WORKLOADS, get_workload, run_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchParams",
+    "DEFAULT_PARAMS",
+    "assemble",
+    "Program",
+    "FunctionalPE",
+    "System",
+    "Memory",
+    "PipelinedPE",
+    "PipelineConfig",
+    "QueuePolicy",
+    "all_configs",
+    "config_by_name",
+    "WORKLOADS",
+    "get_workload",
+    "run_workload",
+    "__version__",
+]

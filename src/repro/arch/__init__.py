@@ -1,0 +1,21 @@
+"""Architectural state and the functional (architectural) PE simulator."""
+
+from repro.arch.queue import TaggedQueue, QueueEntry
+from repro.arch.regfile import RegisterFile
+from repro.arch.predicates import PredicateFile
+from repro.arch.scratchpad import Scratchpad
+from repro.arch.scheduler import Scheduler, ArchQueueView, QueueStatusView, TriggerOutcome
+from repro.arch.functional import FunctionalPE
+
+__all__ = [
+    "TaggedQueue",
+    "QueueEntry",
+    "RegisterFile",
+    "PredicateFile",
+    "Scratchpad",
+    "Scheduler",
+    "ArchQueueView",
+    "QueueStatusView",
+    "TriggerOutcome",
+    "FunctionalPE",
+]

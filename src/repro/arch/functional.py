@@ -1,0 +1,200 @@
+"""Functional (architectural) simulator of one triggered PE.
+
+This is the toolchain's "Functional Simulator" box (Figure 1) and the
+architectural reference for every pipelined model: one triggered
+instruction retires per cycle whenever any trigger matches.  It is also
+the timing model of the single-cycle ``TDX`` baseline (Section 4), whose
+CPI it reports directly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.arch.predicates import PredicateFile
+from repro.arch.queue import TaggedQueue
+from repro.arch.regfile import RegisterFile
+from repro.arch.scheduler import ArchQueueView, Scheduler, TriggerKind
+from repro.arch.scratchpad import Scratchpad
+from repro.errors import SimulationError
+from repro.isa.alu import alu_execute
+from repro.isa.instruction import DestinationType, Instruction, OperandType
+from repro.params import ArchParams, DEFAULT_PARAMS
+
+
+@dataclass
+class FunctionalCounters:
+    """Per-PE performance counters maintained by the functional model."""
+
+    cycles: int = 0
+    retired: int = 0
+    none_triggered: int = 0
+    predicate_writes: int = 0        # retired datapath writes to a predicate
+    enqueues: int = 0
+    dequeues: int = 0
+    retired_by_op: Counter = field(default_factory=Counter)
+    retired_by_slot: Counter = field(default_factory=Counter)
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per retired instruction."""
+        if self.retired == 0:
+            return float("inf")
+        return self.cycles / self.retired
+
+    @property
+    def predicate_write_rate(self) -> float:
+        """Fraction of retired instructions writing a predicate (Figure 4)."""
+        if self.retired == 0:
+            return 0.0
+        return self.predicate_writes / self.retired
+
+
+class FunctionalPE:
+    """One processing element executing at one instruction per cycle."""
+
+    def __init__(
+        self,
+        params: ArchParams = DEFAULT_PARAMS,
+        name: str = "pe",
+        has_scratchpad: bool = True,
+        initial_predicates: int = 0,
+    ) -> None:
+        self.params = params
+        self.name = name
+        self.inputs = [
+            TaggedQueue(params.queue_capacity, f"{name}.i{i}")
+            for i in range(params.num_input_queues)
+        ]
+        self.outputs = [
+            TaggedQueue(params.queue_capacity, f"{name}.o{i}")
+            for i in range(params.num_output_queues)
+        ]
+        self.regs = RegisterFile(params)
+        self.preds = PredicateFile(params, initial_predicates)
+        self.scratchpad = Scratchpad(params) if has_scratchpad else None
+        self.scheduler = Scheduler(params)
+        self.instructions: list[Instruction] = []
+        self.counters = FunctionalCounters()
+        self.halted = False
+        self._initial_predicates = initial_predicates
+
+    # ------------------------------------------------------------------
+    # Host interface (the userspace library's role)
+    # ------------------------------------------------------------------
+
+    def load_program(self, instructions: list[Instruction]) -> None:
+        """Program the instruction memory (validates against parameters)."""
+        if len(instructions) > self.params.num_instructions:
+            raise SimulationError(
+                f"{self.name}: program of {len(instructions)} instructions "
+                f"exceeds NIns = {self.params.num_instructions}"
+            )
+        for ins in instructions:
+            if ins.valid:
+                ins.validate(self.params)
+        self.instructions = list(instructions)
+
+    def reset(self) -> None:
+        """Return all architectural state to its post-configuration value."""
+        for queue in self.inputs:
+            queue.reset()
+        for queue in self.outputs:
+            queue.reset()
+        self.regs.reset()
+        self.preds.reset(self._initial_predicates)
+        if self.scratchpad is not None:
+            self.scratchpad.reset()
+        self.counters = FunctionalCounters()
+        self.halted = False
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Advance one cycle; returns True when an instruction retired."""
+        if self.halted:
+            return False
+        self.counters.cycles += 1
+        view = ArchQueueView(self.inputs, self.outputs)
+        outcome = self.scheduler.evaluate(
+            self.instructions, self.preds.state, view
+        )
+        if outcome.kind is not TriggerKind.FIRED:
+            self.counters.none_triggered += 1
+            return False
+        self._execute(self.instructions[outcome.index], outcome.index)
+        return True
+
+    def _execute(self, ins: Instruction, slot: int) -> None:
+        dp = ins.dp
+
+        # Operand read (queue sources peek at the head; dequeue is separate).
+        operands = []
+        for src in dp.srcs:
+            if src.kind is OperandType.REG:
+                operands.append(self.regs.read(src.index))
+            elif src.kind is OperandType.IN:
+                operands.append(self.inputs[src.index].peek(0).value)
+            elif src.kind is OperandType.IMM:
+                operands.append(dp.imm & self.params.word_mask)
+            else:
+                operands.append(0)
+        while len(operands) < 2:
+            operands.append(0)
+
+        # Issue-time atomic actions: predicate force-update and dequeues.
+        self.preds.apply_update(dp.pred_update)
+        for queue in dp.deq:
+            self.inputs[queue].dequeue()
+            self.counters.dequeues += 1
+
+        result = alu_execute(dp.op, operands[0], operands[1], self.params, self.scratchpad)
+
+        if result.store is not None:
+            if self.scratchpad is None:
+                raise SimulationError(f"{self.name}: store without a scratchpad")
+            self.scratchpad.store(*result.store)
+
+        dst = dp.dst
+        if dst.kind is DestinationType.REG:
+            self.regs.write(dst.index, result.value)
+        elif dst.kind is DestinationType.OUT:
+            self.outputs[dst.index].enqueue(result.value, dst.out_tag)
+            self.counters.enqueues += 1
+        elif dst.kind is DestinationType.PRED:
+            self.preds.write_bit(dst.index, result.value & 1)
+            self.counters.predicate_writes += 1
+
+        if result.halt:
+            self.halted = True
+
+        self.counters.retired += 1
+        self.counters.retired_by_op[dp.op.mnemonic] += 1
+        self.counters.retired_by_slot[slot] += 1
+
+    def commit_queues(self) -> None:
+        """Commit staged enqueues on queues this PE owns (single-PE runs).
+
+        In a multi-PE :class:`~repro.fabric.system.System` the system
+        commits each shared channel exactly once per cycle instead.
+        """
+        for queue in self.inputs:
+            queue.commit()
+        for queue in self.outputs:
+            queue.commit()
+
+    def run(self, max_cycles: int = 1_000_000) -> FunctionalCounters:
+        """Run standalone until halt (single-PE convenience wrapper)."""
+        for _ in range(max_cycles):
+            if self.halted:
+                break
+            self.step()
+            self.commit_queues()
+        else:
+            raise SimulationError(
+                f"{self.name}: did not halt within {max_cycles} cycles"
+            )
+        return self.counters

@@ -1,0 +1,119 @@
+"""Tagged register queues — the operand channels between PEs.
+
+Each queue entry carries a data word plus a small tag encoding semantic
+information (datatype, end-of-stream, control messages...).  Queues are
+the paper's communication substrate: a producer PE's output queue is the
+consumer PE's input queue.
+
+To keep multi-PE simulation deterministic regardless of the order PEs are
+stepped in, enqueues are *staged*: :meth:`enqueue` buffers the entry and
+:meth:`commit` (called by the system at the end of each cycle) makes it
+visible to the consumer.  This models the one-cycle channel traversal of
+a physical register queue.  Dequeues act immediately — the consumer owns
+the head of the queue.
+
+Capacity accounting counts staged entries, so a producer can never
+oversubscribe a queue within a cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import QueueError
+
+
+@dataclass(frozen=True)
+class QueueEntry:
+    """One word travelling through a channel."""
+
+    value: int
+    tag: int = 0
+
+
+class TaggedQueue:
+    """A bounded FIFO of tagged words with staged enqueue."""
+
+    def __init__(self, capacity: int, name: str = "") -> None:
+        if capacity <= 0:
+            raise QueueError(f"queue capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._live: deque[QueueEntry] = deque()
+        self._staged: list[QueueEntry] = []
+
+    # -- producer side --------------------------------------------------
+
+    @property
+    def free_slots(self) -> int:
+        """Slots available for new enqueues (staged entries already count)."""
+        return self.capacity - len(self._live) - len(self._staged)
+
+    @property
+    def is_full(self) -> bool:
+        return self.free_slots == 0
+
+    def enqueue(self, value: int, tag: int = 0) -> None:
+        """Stage an entry; it becomes visible after the next commit."""
+        if self.free_slots <= 0:
+            raise QueueError(f"enqueue to full queue {self.name!r}")
+        self._staged.append(QueueEntry(value, tag))
+
+    # -- consumer side --------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        """Entries currently visible to the consumer."""
+        return len(self._live)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._live
+
+    def peek(self, depth: int = 0) -> QueueEntry:
+        """Inspect the entry ``depth`` positions behind the head.
+
+        ``depth = 0`` is the head, ``depth = 1`` the "neck" that the
+        effective-queue-status scheduler inspects when a dequeue is in
+        flight (Section 5.3).
+        """
+        if depth >= len(self._live):
+            raise QueueError(
+                f"peek depth {depth} on queue {self.name!r} with "
+                f"occupancy {len(self._live)}"
+            )
+        return self._live[depth]
+
+    def dequeue(self) -> QueueEntry:
+        """Remove and return the head entry (takes effect immediately)."""
+        if not self._live:
+            raise QueueError(f"dequeue from empty queue {self.name!r}")
+        return self._live.popleft()
+
+    # -- simulation control ----------------------------------------------
+
+    def commit(self) -> None:
+        """Make staged enqueues visible.  Called once per cycle."""
+        if self._staged:
+            self._live.extend(self._staged)
+            self._staged.clear()
+
+    def reset(self) -> None:
+        self._live.clear()
+        self._staged.clear()
+
+    def drain(self) -> list[QueueEntry]:
+        """Remove and return every visible entry (host-side helper)."""
+        items = list(self._live)
+        self._live.clear()
+        return items
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __repr__(self) -> str:
+        return (
+            f"TaggedQueue({self.name!r}, occ={len(self._live)}, "
+            f"staged={len(self._staged)}, cap={self.capacity})"
+        )

@@ -1,0 +1,53 @@
+"""PE-local scratchpad memory (word addressed)."""
+
+from __future__ import annotations
+
+from repro.errors import MemoryError_
+from repro.params import ArchParams
+
+
+class Scratchpad:
+    """A small word-addressed local store for ``lsw`` / ``ssw``."""
+
+    def __init__(self, params: ArchParams) -> None:
+        self._params = params
+        self._words = [0] * params.scratchpad_words
+
+    def load(self, address: int) -> int:
+        self._check(address)
+        return self._words[address]
+
+    def store(self, address: int, value: int) -> None:
+        self._check(address)
+        self._words[address] = value & self._params.word_mask
+
+    def preload(self, values: list[int], base: int = 0) -> None:
+        """Host-side bulk initialization (the userspace library's role)."""
+        if base < 0 or base + len(values) > len(self._words):
+            raise MemoryError_(
+                f"preload of {len(values)} words at {base} exceeds scratchpad "
+                f"size {len(self._words)}"
+            )
+        for offset, value in enumerate(values):
+            self._words[base + offset] = value & self._params.word_mask
+
+    def dump(self, base: int = 0, count: int | None = None) -> list[int]:
+        if count is None:
+            count = len(self._words) - base
+        self._check(base)
+        self._check(base + count - 1)
+        return self._words[base:base + count]
+
+    def reset(self) -> None:
+        for i in range(len(self._words)):
+            self._words[i] = 0
+
+    def _check(self, address: int) -> None:
+        if not 0 <= address < len(self._words):
+            raise MemoryError_(
+                f"scratchpad address {address} out of range "
+                f"0..{len(self._words) - 1}"
+            )
+
+    def __len__(self) -> int:
+        return len(self._words)

@@ -1,0 +1,6 @@
+"""Assembler for the triggered-instruction assembly language."""
+
+from repro.asm.program import Program
+from repro.asm.assembler import assemble, assemble_file
+
+__all__ = ["Program", "assemble", "assemble_file"]

@@ -1,0 +1,69 @@
+"""Assembler command-line driver.
+
+Usage::
+
+    python -m repro.asm program.s -o program.bin [--params params.txt]
+    python -m repro.asm --disassemble program.bin [--params params.txt]
+    python -m repro.asm --check program.s
+
+Mirrors the paper's standalone assembler: the parameter file configures
+the target machine, the output is the padded binary the host writes into
+the PE's instruction memory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.asm.assembler import assemble_file
+from repro.asm.disassembler import disassemble_binary
+from repro.errors import ReproError
+from repro.params import DEFAULT_PARAMS
+from repro.toolchain.params_file import load_params
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.asm",
+        description="Assemble (or disassemble) triggered-instruction programs.",
+    )
+    parser.add_argument("input", help="source file (.s) or binary (.bin)")
+    parser.add_argument("-o", "--output", help="output binary path")
+    parser.add_argument("--params", help="parameter file (defaults to Table 1)")
+    parser.add_argument(
+        "--disassemble", action="store_true",
+        help="treat the input as a binary and print its assembly",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="assemble and report, without writing a binary",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        params = load_params(args.params) if args.params else DEFAULT_PARAMS
+        if args.disassemble:
+            with open(args.input, "rb") as handle:
+                print(disassemble_binary(handle.read(), params))
+            return 0
+        program = assemble_file(args.input, params)
+        blob = program.binary(params)
+        if args.check or not args.output:
+            print(
+                f"{args.input}: {len(program)} instructions, "
+                f"{len(blob)} bytes encoded, "
+                f"initial predicates {program.initial_predicates:#04x}"
+            )
+            return 0
+        with open(args.output, "wb") as handle:
+            handle.write(blob)
+        print(f"wrote {len(blob)} bytes to {args.output}")
+        return 0
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,319 @@
+"""The triggered-instruction assembler.
+
+Source syntax follows the paper's examples (Section 2.2):
+
+.. code-block:: text
+
+    # A merge-sort worker step: compare two tagged inputs.
+    when %p == XXXX0000 with %i0.0, %i3.0:
+        ult %p7, %i3, %i0; set %p = ZZZZ0001;
+
+One instruction per ``when`` block:
+
+* **Guard** — ``when %p == <pattern>`` where the pattern is written
+  MSB-first over ``{0, 1, X}`` (``X`` = don't care), optionally followed
+  by ``with <check>, ...`` where each check is ``%iN.T`` (head tag of
+  input queue N must equal T) or ``%iN.!T`` (must differ — the NotTags
+  encoding).
+* **Actions**, ``;``-separated, at most one of each kind:
+
+  - a datapath operation ``op dst, src1, src2`` with destinations
+    ``%rN`` / ``%oN.T`` (output queue N, enqueue tag T) / ``%pN`` and
+    sources ``%rN`` / ``%iN`` (peek head of input queue N) / ``$imm``
+    (decimal, hex or negative immediate);
+  - ``set %p = <pattern>`` with MSB-first ``{0, 1, Z}`` (``Z`` = leave
+    unchanged) — the issue-time predicate force-update;
+  - ``deq %iN[, %iM]`` — input queues to dequeue.
+
+Program-level directives:
+
+* ``.start %p = <pattern>`` (``{0, 1}``) — initial predicate state.
+
+Comments run from ``#`` or ``//`` to end of line.  Instruction priority
+is source order: earlier instructions win.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.asm.program import Program
+from repro.errors import AssemblerError
+from repro.isa.instruction import (
+    DatapathOp,
+    Destination,
+    Instruction,
+    Operand,
+    PredUpdate,
+    TagCheck,
+    Trigger,
+)
+from repro.isa.opcodes import op_by_name
+from repro.params import ArchParams, DEFAULT_PARAMS
+
+_COMMENT = re.compile(r"(#|//).*$")
+_WHEN = re.compile(
+    r"when\s+%p\s*==\s*(?P<pattern>[01xX]+)\s*(?:with\s+(?P<checks>[^:]+?))?\s*:",
+)
+_CHECK = re.compile(r"^%i(?P<queue>\d+)\.(?P<neg>!)?(?P<tag>\d+)$")
+_REG = re.compile(r"^%r(\d+)$")
+_IN = re.compile(r"^%i(\d+)$")
+_PRED = re.compile(r"^%p(\d+)$")
+_OUT = re.compile(r"^%o(?P<queue>\d+)\.(?P<tag>\d+)$")
+_IMM = re.compile(r"^\$(-?(0[xX][0-9a-fA-F]+|\d+))$")
+_SET = re.compile(r"^set\s+%p\s*=\s*(?P<pattern>[01zZ]+)$")
+_DEQ = re.compile(r"^deq\s+(?P<queues>.+)$")
+_START = re.compile(r"^\.start\s+%p\s*=\s*(?P<pattern>[01]+)$")
+
+
+def _parse_pred_pattern(pattern: str, num_preds: int, line: int) -> tuple[int, int]:
+    """MSB-first pattern over {0,1,X} -> (on_mask, off_mask)."""
+    if len(pattern) > num_preds:
+        raise AssemblerError(
+            f"predicate pattern {pattern!r} longer than NPreds = {num_preds}", line
+        )
+    on = off = 0
+    for position, char in enumerate(reversed(pattern)):
+        if char == "1":
+            on |= 1 << position
+        elif char == "0":
+            off |= 1 << position
+    return on, off
+
+
+def _parse_set_pattern(pattern: str, num_preds: int, line: int) -> PredUpdate:
+    """MSB-first pattern over {0,1,Z} -> PredUpdate masks."""
+    if len(pattern) > num_preds:
+        raise AssemblerError(
+            f"set pattern {pattern!r} longer than NPreds = {num_preds}", line
+        )
+    set_mask = clear_mask = 0
+    for position, char in enumerate(reversed(pattern)):
+        if char == "1":
+            set_mask |= 1 << position
+        elif char == "0":
+            clear_mask |= 1 << position
+    return PredUpdate(set_mask=set_mask, clear_mask=clear_mask)
+
+
+def _parse_source(token: str, line: int) -> tuple[Operand, int | None]:
+    """Parse one source operand; returns (operand, immediate-or-None)."""
+    if m := _REG.match(token):
+        return Operand.reg(int(m.group(1))), None
+    if m := _IN.match(token):
+        return Operand.input_queue(int(m.group(1))), None
+    if m := _IMM.match(token):
+        return Operand.imm(), int(m.group(1), 0)
+    raise AssemblerError(f"cannot parse source operand {token!r}", line)
+
+
+def _parse_destination(token: str, line: int) -> Destination:
+    if m := _REG.match(token):
+        return Destination.reg(int(m.group(1)))
+    if m := _PRED.match(token):
+        return Destination.predicate(int(m.group(1)))
+    if m := _OUT.match(token):
+        return Destination.output_queue(int(m.group("queue")), int(m.group("tag")))
+    raise AssemblerError(
+        f"cannot parse destination {token!r} (expected %rN, %pN or %oN.T)", line
+    )
+
+
+def _split_operands(text: str) -> list[str]:
+    return [t.strip() for t in text.split(",") if t.strip()]
+
+
+class _BlockParser:
+    """Parses one ``when ...: actions`` block into an Instruction."""
+
+    def __init__(self, params: ArchParams, line: int, index: int) -> None:
+        self.params = params
+        self.line = line
+        self.index = index
+        self.op = None
+        self.srcs: tuple[Operand, ...] = ()
+        self.dst = Destination.none()
+        self.imm = 0
+        self.deq: tuple[int, ...] = ()
+        self.pred_update = PredUpdate()
+
+    def parse_action(self, action: str) -> None:
+        if m := _SET.match(action):
+            if self.pred_update.touched:
+                raise AssemblerError("duplicate 'set %p' action", self.line)
+            self.pred_update = _parse_set_pattern(
+                m.group("pattern"), self.params.num_preds, self.line
+            )
+            return
+        if m := _DEQ.match(action):
+            if self.deq:
+                raise AssemblerError("duplicate 'deq' action", self.line)
+            queues = []
+            for token in _split_operands(m.group("queues")):
+                qm = _IN.match(token)
+                if not qm:
+                    raise AssemblerError(f"deq expects %iN operands, got {token!r}", self.line)
+                queues.append(int(qm.group(1)))
+            self.deq = tuple(queues)
+            return
+        self._parse_datapath(action)
+
+    def _parse_datapath(self, action: str) -> None:
+        if self.op is not None:
+            raise AssemblerError(
+                "more than one datapath operation in an instruction", self.line
+            )
+        parts = action.split(None, 1)
+        mnemonic = parts[0]
+        try:
+            op = op_by_name(mnemonic)
+        except KeyError as exc:
+            raise AssemblerError(str(exc), self.line) from None
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+
+        expected = op.num_srcs + (1 if op.has_dst else 0)
+        if len(operands) != expected:
+            raise AssemblerError(
+                f"{mnemonic!r} expects {expected} operand(s), got {len(operands)}",
+                self.line,
+            )
+
+        srcs = []
+        imm_seen = False
+        if op.has_dst:
+            self.dst = _parse_destination(operands[0], self.line)
+            source_tokens = operands[1:]
+        else:
+            source_tokens = operands
+        for token in source_tokens:
+            operand, imm = _parse_source(token, self.line)
+            if imm is not None:
+                if imm_seen:
+                    raise AssemblerError(
+                        "at most one immediate per instruction", self.line
+                    )
+                imm_seen = True
+                self.imm = imm & self.params.word_mask
+            srcs.append(operand)
+        self.op = op
+        self.srcs = tuple(srcs)
+
+    def build(self, trigger: Trigger) -> Instruction:
+        if self.op is None:
+            raise AssemblerError("instruction block has no datapath operation", self.line)
+        ins = Instruction(
+            trigger=trigger,
+            dp=DatapathOp(
+                op=self.op,
+                srcs=self.srcs,
+                dst=self.dst,
+                imm=self.imm,
+                deq=self.deq,
+                pred_update=self.pred_update,
+            ),
+            valid=True,
+            label=f"ins{self.index}@line{self.line}",
+        )
+        try:
+            ins.validate(self.params)
+        except Exception as exc:
+            raise AssemblerError(str(exc), self.line) from exc
+        return ins
+
+
+def assemble(source: str, params: ArchParams = DEFAULT_PARAMS, name: str = "") -> Program:
+    """Assemble triggered-instruction source into a :class:`Program`."""
+    # Strip comments while remembering source line numbers.
+    lines = [( _COMMENT.sub("", raw).rstrip(), number + 1)
+             for number, raw in enumerate(source.splitlines())]
+
+    initial_predicates = 0
+    # Collect directives and concatenate the rest into (text, line) tokens.
+    body: list[tuple[str, int]] = []
+    for text, number in lines:
+        stripped = text.strip()
+        if not stripped:
+            continue
+        if stripped.startswith(".start"):
+            m = _START.match(stripped)
+            if not m:
+                raise AssemblerError(f"malformed directive {stripped!r}", number)
+            pattern = m.group("pattern")
+            if len(pattern) > params.num_preds:
+                raise AssemblerError(
+                    f".start pattern longer than NPreds = {params.num_preds}", number
+                )
+            initial_predicates = int(pattern, 2)
+            continue
+        if stripped.startswith("."):
+            raise AssemblerError(f"unknown directive {stripped.split()[0]!r}", number)
+        body.append((stripped, number))
+
+    # Split the body into 'when' blocks.
+    blocks: list[tuple[str, int]] = []   # (block text, starting line)
+    current: list[str] = []
+    current_line = 0
+    for text, number in body:
+        if text.startswith("when"):
+            if current:
+                blocks.append((" ".join(current), current_line))
+            current = [text]
+            current_line = number
+        else:
+            if not current:
+                raise AssemblerError(
+                    f"statement before any 'when' guard: {text!r}", number
+                )
+            current.append(text)
+    if current:
+        blocks.append((" ".join(current), current_line))
+    if not blocks:
+        raise AssemblerError("program contains no instructions")
+
+    instructions = []
+    for index, (block, line) in enumerate(blocks):
+        m = _WHEN.match(block)
+        if not m:
+            raise AssemblerError(f"malformed guard: {block[:60]!r}", line)
+        on, off = _parse_pred_pattern(m.group("pattern"), params.num_preds, line)
+        checks = []
+        if m.group("checks"):
+            for token in _split_operands(m.group("checks")):
+                cm = _CHECK.match(token)
+                if not cm:
+                    raise AssemblerError(
+                        f"cannot parse trigger check {token!r} (expected %iN.T or %iN.!T)",
+                        line,
+                    )
+                checks.append(
+                    TagCheck(
+                        queue=int(cm.group("queue")),
+                        tag=int(cm.group("tag")),
+                        negate=cm.group("neg") is not None,
+                    )
+                )
+        trigger = Trigger(pred_on=on, pred_off=off, tag_checks=tuple(checks))
+
+        parser = _BlockParser(params, line, index)
+        rest = block[m.end():]
+        for action in (a.strip() for a in rest.split(";")):
+            if action:
+                parser.parse_action(action)
+        instructions.append(parser.build(trigger))
+
+    if len(instructions) > params.num_instructions:
+        raise AssemblerError(
+            f"program has {len(instructions)} instructions but the PE holds "
+            f"only NIns = {params.num_instructions}"
+        )
+    return Program(
+        instructions=instructions,
+        initial_predicates=initial_predicates,
+        name=name,
+    )
+
+
+def assemble_file(path: str, params: ArchParams = DEFAULT_PARAMS) -> Program:
+    """Assemble a ``.s`` file from disk."""
+    with open(path, encoding="utf-8") as handle:
+        return assemble(handle.read(), params, name=path)

@@ -1,0 +1,118 @@
+"""Disassembler: instructions (or binaries) back to assembly text.
+
+Completes the toolchain loop: any program assembled by
+:mod:`repro.asm.assembler` (or decoded from a binary) can be rendered
+back to source that re-assembles to the identical encoding — verified by
+round-trip tests.  The output is also the debug view used by the trace
+tooling.
+"""
+
+from __future__ import annotations
+
+from repro.isa.encoding import decode_program
+from repro.isa.instruction import (
+    DestinationType,
+    Instruction,
+    OperandType,
+)
+from repro.params import ArchParams, DEFAULT_PARAMS
+
+
+def _pred_pattern(on: int, off: int, num_preds: int) -> str:
+    chars = []
+    for bit in reversed(range(num_preds)):
+        if (on >> bit) & 1:
+            chars.append("1")
+        elif (off >> bit) & 1:
+            chars.append("0")
+        else:
+            chars.append("X")
+    return "".join(chars)
+
+
+def _set_pattern(set_mask: int, clear_mask: int, num_preds: int) -> str:
+    chars = []
+    for bit in reversed(range(num_preds)):
+        if (set_mask >> bit) & 1:
+            chars.append("1")
+        elif (clear_mask >> bit) & 1:
+            chars.append("0")
+        else:
+            chars.append("Z")
+    return "".join(chars)
+
+
+def _source_text(operand, imm: int) -> str:
+    if operand.kind is OperandType.REG:
+        return f"%r{operand.index}"
+    if operand.kind is OperandType.IN:
+        return f"%i{operand.index}"
+    if operand.kind is OperandType.IMM:
+        return f"${imm}"
+    raise ValueError(f"source operand of kind {operand.kind} has no syntax")
+
+
+def _destination_text(dst) -> str:
+    if dst.kind is DestinationType.REG:
+        return f"%r{dst.index}"
+    if dst.kind is DestinationType.OUT:
+        return f"%o{dst.index}.{dst.out_tag}"
+    if dst.kind is DestinationType.PRED:
+        return f"%p{dst.index}"
+    raise ValueError(f"destination of kind {dst.kind} has no syntax")
+
+
+def disassemble_instruction(ins: Instruction, params: ArchParams = DEFAULT_PARAMS) -> str:
+    """One instruction as a two-line ``when ...:`` block."""
+    if not ins.valid:
+        return "# (empty slot)"
+    guard = f"when %p == {_pred_pattern(ins.trigger.pred_on, ins.trigger.pred_off, params.num_preds)}"
+    if ins.trigger.tag_checks:
+        checks = ", ".join(
+            f"%i{check.queue}.{'!' if check.negate else ''}{check.tag}"
+            for check in ins.trigger.tag_checks
+        )
+        guard += f" with {checks}"
+    guard += ":"
+
+    dp = ins.dp
+    actions = []
+    op_text = dp.op.mnemonic
+    operands = []
+    if dp.op.has_dst:
+        operands.append(_destination_text(dp.dst))
+    operands += [_source_text(src, dp.imm) for src in dp.srcs[: dp.op.num_srcs]]
+    if operands:
+        op_text += " " + ", ".join(operands)
+    actions.append(op_text)
+    update = dp.pred_update
+    if update.touched:
+        actions.append(
+            f"set %p = {_set_pattern(update.set_mask, update.clear_mask, params.num_preds)}"
+        )
+    if dp.deq:
+        actions.append("deq " + ", ".join(f"%i{queue}" for queue in dp.deq))
+    return guard + "\n    " + "; ".join(actions) + ";"
+
+
+def disassemble(
+    instructions: list[Instruction],
+    params: ArchParams = DEFAULT_PARAMS,
+    initial_predicates: int = 0,
+) -> str:
+    """A whole program as re-assemblable source text."""
+    lines = []
+    if initial_predicates:
+        lines.append(
+            ".start %p = " + format(initial_predicates, f"0{params.num_preds}b")
+        )
+        lines.append("")
+    for ins in instructions:
+        lines.append(disassemble_instruction(ins, params))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def disassemble_binary(blob: bytes, params: ArchParams = DEFAULT_PARAMS) -> str:
+    """Disassemble an encoded ``program.bin``."""
+    return disassemble(decode_program(blob, params), params)

@@ -1,0 +1,36 @@
+"""Assembled program container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.encoding import encode_program
+from repro.isa.instruction import Instruction
+from repro.params import ArchParams
+
+
+@dataclass
+class Program:
+    """One PE's assembled instruction list plus configuration metadata.
+
+    ``initial_predicates`` comes from the optional ``.start %p = ...``
+    directive and is applied to the predicate file before execution —
+    programs use it to enter their start state.
+    """
+
+    instructions: list[Instruction] = field(default_factory=list)
+    initial_predicates: int = 0
+    name: str = ""
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def binary(self, params: ArchParams) -> bytes:
+        """Encode to the padded binary format (``program.bin``)."""
+        return encode_program(self.instructions, params)
+
+    def configure(self, pe) -> None:
+        """Load this program onto a PE (functional or pipelined)."""
+        pe.load_program(self.instructions)
+        pe.preds.reset(self.initial_predicates)
+        pe._initial_predicates = self.initial_predicates

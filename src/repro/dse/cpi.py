@@ -1,0 +1,89 @@
+"""Average CPI per microarchitecture, measured by the cycle simulator.
+
+CPI depends only on the microarchitecture (not on voltage or frequency),
+so the design-space sweep needs one simulation campaign per config: all
+ten Table 3 workloads, counters read from the designated worker PE,
+averaged — exactly how Figure 5's stacks are built.  Results are cached
+in memory and optionally on disk, because a full 32-config campaign is
+the expensive part of regenerating Figures 6-8.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.params import ArchParams, DEFAULT_PARAMS
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.core import PipelinedPE
+from repro.workloads.suite import WORKLOADS, run_workload
+
+
+class CpiTable:
+    """Lazily simulated, cached per-config CPI (and CPI stacks)."""
+
+    def __init__(
+        self,
+        scale: int = 24,
+        seed: int = 0,
+        params: ArchParams = DEFAULT_PARAMS,
+        cache_path: str | None = None,
+    ) -> None:
+        self.scale = scale
+        self.seed = seed
+        self.params = params
+        self.cache_path = cache_path
+        self._cpi: dict[str, float] = {}
+        self._stacks: dict[str, dict[str, float]] = {}
+        if cache_path and os.path.exists(cache_path):
+            with open(cache_path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("scale") == scale and payload.get("seed") == seed:
+                self._cpi = payload["cpi"]
+                self._stacks = payload["stacks"]
+
+    def _simulate(self, config: PipelineConfig) -> None:
+        def factory(name: str) -> PipelinedPE:
+            return PipelinedPE(config, self.params, name=name)
+
+        totals: dict[str, float] = {}
+        cpi_sum = 0.0
+        names = WORKLOADS()
+        for workload in names:
+            run = run_workload(
+                workload, make_pe=factory, scale=self.scale, seed=self.seed,
+                params=self.params,
+            )
+            counters = run.worker_counters
+            counters.check_consistency()
+            cpi_sum += counters.cpi
+            for key, value in counters.stack().items():
+                totals[key] = totals.get(key, 0.0) + value
+        self._cpi[config.name] = cpi_sum / len(names)
+        self._stacks[config.name] = {
+            key: value / len(names) for key, value in totals.items()
+        }
+        if self.cache_path:
+            with open(self.cache_path, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {
+                        "scale": self.scale,
+                        "seed": self.seed,
+                        "cpi": self._cpi,
+                        "stacks": self._stacks,
+                    },
+                    handle,
+                    indent=1,
+                )
+
+    def cpi(self, config: PipelineConfig) -> float:
+        """Workload-average worker CPI for one microarchitecture."""
+        if config.name not in self._cpi:
+            self._simulate(config)
+        return self._cpi[config.name]
+
+    def stack(self, config: PipelineConfig) -> dict[str, float]:
+        """Workload-average CPI stack (the Figure 5 bar) for one config."""
+        if config.name not in self._stacks:
+            self._simulate(config)
+        return self._stacks[config.name]

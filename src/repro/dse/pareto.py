@@ -1,0 +1,44 @@
+"""Pareto frontier extraction over the energy-delay plane."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.dse.design_point import DesignPoint
+
+
+def pareto_frontier(
+    points: Sequence[DesignPoint],
+    energy: Callable[[DesignPoint], float] = lambda p: p.pj_per_instruction,
+    delay: Callable[[DesignPoint], float] = lambda p: p.ns_per_instruction,
+) -> list[DesignPoint]:
+    """Points not dominated in (energy, delay), sorted fastest first.
+
+    A point dominates another when it is no worse on both axes and
+    strictly better on at least one.
+    """
+    ordered = sorted(points, key=lambda p: (delay(p), energy(p)))
+    frontier: list[DesignPoint] = []
+    best_energy = float("inf")
+    for point in ordered:
+        e = energy(point)
+        if e < best_energy:
+            frontier.append(point)
+            best_energy = e
+    return frontier
+
+
+def frontier_span(frontier: Sequence[DesignPoint]) -> dict[str, float]:
+    """The energy and delay extremes and their ratios (the 71x / 225x claim)."""
+    if not frontier:
+        return {}
+    energies = [p.pj_per_instruction for p in frontier]
+    delays = [p.ns_per_instruction for p in frontier]
+    return {
+        "min_pj": min(energies),
+        "max_pj": max(energies),
+        "energy_span": max(energies) / min(energies),
+        "min_ns": min(delays),
+        "max_ns": max(delays),
+        "delay_span": max(delays) / min(delays),
+    }

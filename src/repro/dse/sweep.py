@@ -1,0 +1,72 @@
+"""The Section 3 design-space sweep.
+
+Characterization grids (paper Section 3):
+
+* standard-VT cells at 0.6 / 0.7 / 0.8 / 0.9 / 1.0 V;
+* low- and high-VT cells at 0.4 / 0.6 / 0.8 / 1.0 V;
+* target frequencies 100 MHz - 1.5 GHz at 100 MHz granularity,
+  refined to 50 MHz steps up through 500 MHz in near-threshold regimes,
+  plus 10 MHz steps through 100 MHz for subthreshold high-VT corners;
+* each microarchitecture's exact f_max at each (V, VT) is also closed,
+  which is how points like "TDX1|X2 at 1157 MHz" enter the space.
+
+Crossed with the 32 microarchitectures this yields the paper's >4,000
+closed design points.
+"""
+
+from __future__ import annotations
+
+from repro.dse.cpi import CpiTable
+from repro.dse.design_point import DesignPoint
+from repro.errors import SynthesisError
+from repro.pipeline.config import PipelineConfig, all_configs
+from repro.vlsi.synthesis import fmax, synthesize
+from repro.vlsi.technology import TECH65, Technology, VtFlavor
+
+_NEAR_THRESHOLD_VDD = 0.7    # refinement kicks in at and below this supply
+_SUBTHRESHOLD_VDD = 0.45     # high-VT cells below their threshold voltage
+
+
+def voltage_grid(vt: VtFlavor) -> list[float]:
+    """Characterized supply voltages for one VT flavor."""
+    if vt is VtFlavor.SVT:
+        return [0.6, 0.7, 0.8, 0.9, 1.0]
+    return [0.4, 0.6, 0.8, 1.0]
+
+
+def frequency_grid(vt: VtFlavor, vdd: float) -> list[float]:
+    """Characterized target frequencies (Hz) at one (VT, VDD) corner."""
+    targets = {100e6 * step for step in range(1, 16)}       # 100 MHz - 1.5 GHz
+    if vdd <= _NEAR_THRESHOLD_VDD:
+        targets.update(50e6 * step for step in range(2, 11))  # 100-500 by 50
+    if vt is VtFlavor.HVT and vdd <= _SUBTHRESHOLD_VDD:
+        targets.update(10e6 * step for step in range(1, 11))  # 10-100 by 10
+    return sorted(targets)
+
+
+def sweep(
+    configs: list[PipelineConfig] | None = None,
+    cpi_table: CpiTable | None = None,
+    tech: Technology = TECH65,
+    include_fmax_points: bool = True,
+) -> list[DesignPoint]:
+    """Close every feasible design point in the characterized space."""
+    if configs is None:
+        configs = all_configs()
+    if cpi_table is None:
+        cpi_table = CpiTable()
+    points: list[DesignPoint] = []
+    for config in configs:
+        cpi = cpi_table.cpi(config)
+        for vt in VtFlavor:
+            for vdd in voltage_grid(vt):
+                targets = list(frequency_grid(vt, vdd))
+                if include_fmax_points:
+                    targets.append(fmax(config, vdd, vt, tech))
+                for f_target in targets:
+                    try:
+                        result = synthesize(config, vdd, vt, f_target, tech)
+                    except SynthesisError:
+                        continue
+                    points.append(DesignPoint(synthesis=result, cpi=cpi))
+    return points

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the toolchain, the simulators, and the VLSI model
+derives from :class:`ReproError`, so callers can catch one base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ParameterError(ReproError):
+    """An architectural parameter is out of its legal range."""
+
+
+class EncodingError(ReproError):
+    """An instruction cannot be encoded or decoded."""
+
+
+class AssemblerError(ReproError):
+    """A triggered-assembly source program is malformed.
+
+    Carries optional source coordinates so messages point at the offending
+    line of assembly.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """The simulated machine reached an illegal state."""
+
+
+class QueueError(SimulationError):
+    """Illegal queue operation (dequeue from empty, enqueue to full)."""
+
+
+class MemoryError_(SimulationError):
+    """Out-of-bounds or otherwise illegal memory access."""
+
+
+class ConfigError(ReproError):
+    """An illegal microarchitecture or system configuration."""
+
+
+class SynthesisError(ReproError):
+    """A VLSI design point is infeasible (e.g. target frequency > f_max)."""

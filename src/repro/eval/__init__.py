@@ -1,0 +1,27 @@
+"""Per-exhibit reproduction harness: one module per paper table/figure."""
+
+from repro.eval import (
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    overheads,
+    table1,
+    table2,
+    table3,
+)
+
+__all__ = [
+    "table1",
+    "table2",
+    "table3",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "overheads",
+]

@@ -1,0 +1,67 @@
+"""Figure 3: single-cycle PE area/power breakdown.
+
+Paper anchors: 64,435 um^2 and 1.95 mW total; instruction memory 25% of
+area and 41% of power; scheduler 6% / 5%; queues 18% / 22%; front end
+32% area vs 46% back end; power reversed at 48% front vs 23% back.
+"""
+
+from __future__ import annotations
+
+from repro.vlsi.components import COMPONENTS, TDX_AREA_UM2, TDX_POWER_W, front_back_split
+
+PAPER = {
+    "total_area_um2": 64_435.0,
+    "total_power_mw": 1.95,
+    "instruction_memory_area": 0.25,
+    "instruction_memory_power": 0.41,
+    "scheduler_area": 0.06,
+    "scheduler_power": 0.05,
+    "queues_area": 0.18,
+    "queues_power": 0.22,
+    "front_area": 0.32,
+    "back_area": 0.46,
+    "front_power": 0.48,
+    "back_power": 0.23,
+}
+
+
+def compute() -> dict:
+    breakdown = {
+        budget.name: {
+            "area_fraction": budget.area_fraction,
+            "power_fraction": budget.power_fraction,
+            "area_um2": budget.area_um2,
+            "power_mw": budget.power_w * 1e3,
+        }
+        for budget in COMPONENTS
+    }
+    return {
+        "total_area_um2": TDX_AREA_UM2,
+        "total_power_mw": TDX_POWER_W * 1e3,
+        "components": breakdown,
+        "split": front_back_split(),
+    }
+
+
+def render() -> str:
+    data = compute()
+    lines = [
+        "Figure 3: single-cycle PE breakdown "
+        f"({data['total_area_um2']:.0f} um2, {data['total_power_mw']:.2f} mW)",
+        "",
+        f"{'component':20s} {'area %':>7s} {'power %':>8s}",
+    ]
+    for name, entry in data["components"].items():
+        lines.append(
+            f"{name:20s} {entry['area_fraction'] * 100:6.1f}% "
+            f"{entry['power_fraction'] * 100:7.1f}%"
+        )
+    split = data["split"]
+    lines.append("")
+    lines.append(
+        f"front end: {split['front_area'] * 100:.0f}% area / "
+        f"{split['front_power'] * 100:.0f}% power   "
+        f"back end: {split['back_area'] * 100:.0f}% area / "
+        f"{split['back_power'] * 100:.0f}% power"
+    )
+    return "\n".join(lines)

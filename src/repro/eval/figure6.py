@@ -1,0 +1,78 @@
+"""Figure 6: energy-delay frontiers for each supply voltage.
+
+Each characterized supply traces its own frontier; the paper's full
+design space spans 71x in energy (0.67 - 47.59 pJ/instruction) and 225x
+in delay (1.37 - 309.03 ns/instruction), with low-VT designs dominating
+the fast end, standard-VT the middle, and high-VT the low-power tail.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.dse.cpi import CpiTable
+from repro.dse.design_point import DesignPoint
+from repro.dse.pareto import pareto_frontier
+from repro.dse.sweep import sweep
+
+PAPER_SPAN = {
+    "min_pj": 0.67,
+    "max_pj": 47.59,
+    "energy_span": 71.0,
+    "min_ns": 1.37,
+    "max_ns": 309.03,
+    "delay_span": 225.0,
+}
+
+
+def compute(
+    points: list[DesignPoint] | None = None,
+    cpi_table: CpiTable | None = None,
+) -> dict:
+    """Per-voltage frontiers plus the whole-space span."""
+    if points is None:
+        points = sweep(cpi_table=cpi_table)
+    by_vdd: dict[float, list[DesignPoint]] = defaultdict(list)
+    for point in points:
+        by_vdd[point.vdd].append(point)
+    frontiers = {
+        vdd: pareto_frontier(candidates) for vdd, candidates in sorted(by_vdd.items())
+    }
+    energies = [p.pj_per_instruction for p in points]
+    delays = [p.ns_per_instruction for p in points]
+    span = {
+        "min_pj": min(energies),
+        "max_pj": max(energies),
+        "energy_span": max(energies) / min(energies),
+        "min_ns": min(delays),
+        "max_ns": max(delays),
+        "delay_span": max(delays) / min(delays),
+    }
+    return {"points": points, "frontiers": frontiers, "span": span}
+
+
+def render(points: list[DesignPoint] | None = None,
+           cpi_table: CpiTable | None = None) -> str:
+    data = compute(points, cpi_table)
+    span = data["span"]
+    lines = [
+        "Figure 6: per-supply-voltage energy-delay frontiers",
+        "",
+        f"design space: {len(data['points'])} points "
+        f"(paper: over 4,000 across 32 microarchitectures)",
+        f"energy span {span['min_pj']:.2f} - {span['max_pj']:.2f} pJ/ins "
+        f"({span['energy_span']:.0f}x; paper 71x)",
+        f"delay span  {span['min_ns']:.2f} - {span['max_ns']:.2f} ns/ins "
+        f"({span['delay_span']:.0f}x; paper 225x)",
+        "",
+    ]
+    for vdd, frontier in data["frontiers"].items():
+        fastest = frontier[0]
+        leanest = min(frontier, key=lambda p: p.pj_per_instruction)
+        lines.append(
+            f"{vdd:.1f} V frontier ({len(frontier):2d} pts): fastest "
+            f"{fastest.ns_per_instruction:7.2f} ns @ {fastest.pj_per_instruction:6.2f} pJ "
+            f"({fastest.config_name}, {fastest.vt.value}); leanest "
+            f"{leanest.pj_per_instruction:6.2f} pJ ({leanest.config_name}, {leanest.vt.value})"
+        )
+    return "\n".join(lines)

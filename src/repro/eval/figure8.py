@@ -1,0 +1,69 @@
+"""Figure 8: parametric analysis of the Pareto-optimal designs.
+
+Paper observations the benches check for:
+
+* the single-cycle TDX remains competitive through the low-power region;
+* a two-stage pipeline with both optimizations traces most of the
+  balanced/low-power frontier;
+* the high-performance extreme is a two-stage split-ALU design, and the
+  second-fastest point is a three-stage pipeline with both optimizations
+  at roughly half the energy;
+* every Pareto design's power density sits below 65 nm CPU/GPU envelopes
+  (paper max: 167.6 mW/mm2 vs ~300-1000 mW/mm2 for GPUs/CPUs).
+"""
+
+from __future__ import annotations
+
+from repro.dse.cpi import CpiTable
+from repro.dse.design_point import DesignPoint
+from repro.dse.pareto import pareto_frontier
+from repro.dse.sweep import sweep
+
+PAPER = {
+    "fastest_ns": 1.37,
+    "fastest_pj": 21.42,
+    "runner_up_ns": 1.43,
+    "runner_up_pj": 11.91,
+    "low_power_pj": 0.89,
+    "max_density_mw_mm2": 167.6,
+    "cpu_density_mean": 500.0,
+    "gpu_density_max": 300.0,
+}
+
+
+def compute(points: list[DesignPoint] | None = None,
+            cpi_table: CpiTable | None = None) -> dict:
+    if points is None:
+        points = sweep(cpi_table=cpi_table)
+    frontier = pareto_frontier(points)
+    return {
+        "frontier": frontier,
+        "rows": [point.row() for point in frontier],
+        "fastest": frontier[0],
+        "low_power": min(frontier, key=lambda p: p.pj_per_instruction),
+        "max_density": max(p.power_density_mw_per_mm2 for p in frontier),
+    }
+
+
+def render(points: list[DesignPoint] | None = None,
+           cpi_table: CpiTable | None = None) -> str:
+    data = compute(points, cpi_table)
+    lines = [
+        "Figure 8: Pareto-optimal designs (fastest first)",
+        "",
+        f"{'design':20s} {'vt':>3s} {'Vdd':>4s} {'MHz':>7s} {'ns/ins':>7s} "
+        f"{'pJ/ins':>7s} {'mW':>7s} {'mm2':>6s} {'mW/mm2':>7s} {'ED':>8s}",
+    ]
+    for row in data["rows"]:
+        lines.append(
+            f"{row['design']:20s} {row['vt']:>3s} {row['vdd']:4.1f} "
+            f"{row['mhz']:7.1f} {row['ns_per_instruction']:7.2f} "
+            f"{row['pj_per_instruction']:7.2f} {row['mw']:7.3f} "
+            f"{row['mm2']:6.4f} {row['mw_per_mm2']:7.1f} {row['ed']:8.2f}"
+        )
+    lines.append("")
+    lines.append(
+        f"max frontier power density: {data['max_density']:.1f} mW/mm2 "
+        f"(paper {PAPER['max_density_mw_mm2']}; 65nm CPU mean ~500, GPU max ~300)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Sections 4 and 5.4: scalar area/power/timing claims.
+
+Everything the paper states as a number about the VLSI results of the
+optional features, gathered in one place and regenerated from the model:
+
+* instruction-storage medium tradeoffs (CACTI analysis, Section 4);
+* feature overheads on the deepest pipeline at 500 MHz / 1.0 V / SVT;
+* +0.301 mW per pipeline register, iso-frequency and iso-VDD;
+* trigger critical path 53.6 FO4, 64.3 FO4 with speculation;
+* the four-stage pipeline closing at 1184 MHz at nominal voltage.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.config import config_by_name
+from repro.vlsi.components import INSTRUCTION_STORAGE
+from repro.vlsi.synthesis import critical_path_fo4, fmax, synthesize
+from repro.vlsi.technology import VtFlavor
+
+PAPER = {
+    "pipe4_area_um2": 63_991.4,
+    "pipe4_power_mw": 2.852,
+    "p_area_um2": 64_278.4,
+    "p_power_mw": 3.048,
+    "q_area_um2": 64_131.8,
+    "pq_area_um2": 64_895.4,
+    "pq_power_mw": 3.077,
+    "padded_area_um2": 72_439.4,
+    "padded_power_mw": 3.194,
+    "pipe_register_mw": 0.301,
+    "trigger_fo4": 53.6,
+    "trigger_fo4_with_p": 64.3,
+    "pipe4_fmax_mhz": 1184.0,
+    "mixed_vs_register_area": -0.16,
+    "mixed_vs_register_power": -0.24,
+    "mixed_vs_latch_area": -0.09,
+    "mixed_vs_latch_power": -0.19,
+}
+
+
+def compute() -> dict:
+    svt = VtFlavor.SVT
+    results = {}
+    for label, name in [
+        ("base", "T|D|X1|X2"),
+        ("+P", "T|D|X1|X2 +P"),
+        ("+Q", "T|D|X1|X2 +Q"),
+        ("+P+Q", "T|D|X1|X2 +P+Q"),
+        ("padded", "T|D|X1|X2 +pad"),
+    ]:
+        config = config_by_name(name)
+        r = synthesize(config, 1.0, svt, 500e6)
+        results[label] = {
+            "area_um2": r.area_um2,
+            "power_mw": r.power_w * 1e3,
+            "critical_fo4": r.critical_fo4,
+        }
+
+    tdx = synthesize(config_by_name("TDX"), 1.0, svt, 500e6)
+    per_register = (
+        (results["base"]["power_mw"] - tdx.power_w * 1e3)
+        / (config_by_name("T|D|X1|X2").depth - 1)
+    )
+
+    base4 = config_by_name("T|D|X1|X2")
+    spec4 = config_by_name("T|D|X1|X2 +P")
+    mixed = INSTRUCTION_STORAGE["mixed_sram"]
+    latch = INSTRUCTION_STORAGE["latch"]
+    return {
+        "features": results,
+        "pipe_register_mw": per_register,
+        "trigger_fo4": critical_path_fo4(base4),
+        "trigger_fo4_with_p": critical_path_fo4(spec4),
+        "pipe4_fmax_mhz": fmax(base4, 1.0, svt) / 1e6,
+        "pipe4_fmax_with_p_mhz": fmax(spec4, 1.0, svt) / 1e6,
+        "storage": {
+            "mixed_vs_register_area": mixed[0] - 1.0,
+            "mixed_vs_register_power": mixed[1] - 1.0,
+            "mixed_vs_latch_area": mixed[0] / latch[0] - 1.0,
+            "mixed_vs_latch_power": mixed[1] / latch[1] - 1.0,
+        },
+    }
+
+
+def render() -> str:
+    data = compute()
+    lines = ["Sections 4 / 5.4: scalar overheads", ""]
+    lines.append(f"{'variant':8s} {'area um2':>10s} {'power mW':>9s}")
+    for label, entry in data["features"].items():
+        lines.append(
+            f"{label:8s} {entry['area_um2']:10.1f} {entry['power_mw']:9.3f}"
+        )
+    lines.append("")
+    lines.append(f"per pipeline register: +{data['pipe_register_mw']:.3f} mW "
+                 f"(paper +{PAPER['pipe_register_mw']})")
+    lines.append(
+        f"trigger critical path: {data['trigger_fo4']:.1f} FO4, "
+        f"{data['trigger_fo4_with_p']:.1f} with speculation "
+        f"(paper {PAPER['trigger_fo4']} / {PAPER['trigger_fo4_with_p']})"
+    )
+    lines.append(
+        f"T|D|X1|X2 closes at {data['pipe4_fmax_mhz']:.0f} MHz nominal "
+        f"(paper {PAPER['pipe4_fmax_mhz']:.0f}); {data['pipe4_fmax_with_p_mhz']:.0f} with +P"
+    )
+    storage = data["storage"]
+    lines.append(
+        "mixed register/latch-SRAM instruction store: "
+        f"{storage['mixed_vs_register_area']:+.0%} area / "
+        f"{storage['mixed_vs_register_power']:+.0%} power vs registers; "
+        f"{storage['mixed_vs_latch_area']:+.0%} / "
+        f"{storage['mixed_vs_latch_power']:+.0%} vs latches"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Table 1: architectural and microarchitectural parameters."""
+
+from __future__ import annotations
+
+from repro.params import ArchParams, DEFAULT_PARAMS
+
+PAPER_VALUES = {
+    "NRegs": 8,
+    "NIQueues": 4,
+    "NOQueues": 4,
+    "MaxDeq": 2,
+    "NPreds": 8,
+    "Word": 32,
+    "TagWidth": 2,
+    "NIns": 16,
+    "NOps*": 42,
+    "NSrcs*": 2,
+    "NDsts*": 1,
+    # MaxCheck prints as 4 in the paper's Table 1, but Table 2's field
+    # arithmetic and the quoted 106-bit total require 2 (see repro.params).
+    "MaxCheck": 2,
+}
+
+
+def compute(params: ArchParams = DEFAULT_PARAMS) -> list[tuple[str, str, int]]:
+    return params.table1()
+
+
+def render(params: ArchParams = DEFAULT_PARAMS) -> str:
+    lines = ["Table 1: architectural parameters", ""]
+    lines.append(f"{'Parameter':10s} {'Description':34s} {'Value':>5s}")
+    for name, description, value in compute(params):
+        lines.append(f"{name:10s} {description:34s} {value:5d}")
+    return "\n".join(lines)

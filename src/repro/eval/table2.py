@@ -1,0 +1,40 @@
+"""Table 2: instruction field widths under the default parameterization."""
+
+from __future__ import annotations
+
+from repro.params import ArchParams, DEFAULT_PARAMS
+
+PAPER_WIDTHS = {
+    "Val": 1,
+    "PredMask": 16,
+    "QueueIndices": 6,
+    "NotTags": 2,
+    "TagVals": 4,
+    "Op": 6,
+    "SrcTypes": 4,
+    "SrcIDs": 6,
+    "DstTypes": 2,
+    "DstIDs": 3,
+    "OutTag": 2,
+    "IQueueDeq": 6,
+    "PredUpdate": 16,
+    "Imm": 32,
+}
+PAPER_TOTAL_BITS = 106
+PAPER_PADDED_BITS = 128
+
+
+def compute(params: ArchParams = DEFAULT_PARAMS) -> dict[str, int]:
+    return params.field_widths()
+
+
+def render(params: ArchParams = DEFAULT_PARAMS) -> str:
+    widths = compute(params)
+    lines = ["Table 2: instruction field widths", ""]
+    for name, width in widths.items():
+        marker = "" if PAPER_WIDTHS.get(name) == width else "  (paper: %d)" % PAPER_WIDTHS[name]
+        lines.append(f"{name:14s} {width:3d}{marker}")
+    lines.append("")
+    lines.append(f"{'total':14s} {params.instruction_width:3d}  (paper: {PAPER_TOTAL_BITS})")
+    lines.append(f"{'padded':14s} {params.padded_instruction_width:3d}  (paper: {PAPER_PADDED_BITS})")
+    return "\n".join(lines)

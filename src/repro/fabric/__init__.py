@@ -1,0 +1,16 @@
+"""Spatial fabric: channels between PEs, memory endpoints, system loop."""
+
+from repro.fabric.memory import Memory, MemoryReadPort, MemoryWritePort
+from repro.fabric.lsq import LoadStoreQueue
+from repro.fabric.system import System
+from repro.fabric.array import PEArray, Direction
+
+__all__ = [
+    "Memory",
+    "MemoryReadPort",
+    "MemoryWritePort",
+    "LoadStoreQueue",
+    "System",
+    "PEArray",
+    "Direction",
+]

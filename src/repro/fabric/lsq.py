@@ -1,0 +1,157 @@
+"""Per-PE decoupled load-store queue (paper Section 6 future work).
+
+The paper plans "a future version of the ISA and system ... that will
+enable main memory access through per-PE load-store queues using the
+decoupled load access paradigm, as opposed to generating interconnect
+traffic."  This module implements that extension as a drop-in
+replacement for a (read port, write port) pair:
+
+* the PE streams load *addresses* early (the access slice runs ahead of
+  the execute slice — classic decoupled access/execute), and data
+  returns on a response channel after the memory latency;
+* stores enter an in-order **store buffer** and drain to memory one per
+  cycle;
+* younger loads check the store buffer: a load whose address matches a
+  buffered store receives the value by **store-to-load forwarding**
+  without touching memory, preserving program order without stalling
+  the access stream.
+
+Ordering model: operations are sequenced by arrival cycle, stores before
+loads within a cycle (the conservative choice).  Loads never bypass a
+matching older store; non-matching loads proceed around buffered stores
+— the memory-level parallelism the decoupled paradigm exists to expose.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.arch.queue import TaggedQueue
+from repro.errors import MemoryError_
+from repro.fabric.memory import Memory
+
+
+@dataclass
+class _PendingLoad:
+    ready_at: int
+    value: int
+    tag: int
+
+
+@dataclass
+class _BufferedStore:
+    address: int
+    value: int
+
+
+class LoadStoreQueue:
+    """A unified, per-PE memory endpoint with decoupled loads."""
+
+    def __init__(
+        self,
+        memory: Memory,
+        latency: int = 4,
+        store_buffer_entries: int = 4,
+        name: str = "lsq",
+    ) -> None:
+        if latency < 1:
+            raise MemoryError_("load latency must be at least one cycle")
+        if store_buffer_entries < 1:
+            raise MemoryError_("store buffer needs at least one entry")
+        self.memory = memory
+        self.latency = latency
+        self.name = name
+        # Channel endpoints, wired by the System (or manually in tests).
+        self.load_request: TaggedQueue | None = None    # addresses in
+        self.load_response: TaggedQueue | None = None   # data out
+        self.store_address: TaggedQueue | None = None
+        self.store_data: TaggedQueue | None = None
+
+        self._store_buffer: deque[_BufferedStore] = deque()
+        self._store_capacity = store_buffer_entries
+        self._in_flight: deque[_PendingLoad] = deque()
+        self._now = 0
+        self.loads_issued = 0
+        self.stores_committed = 0
+        self.forwarded_loads = 0
+
+    # ------------------------------------------------------------------
+
+    def _forward_value(self, address: int) -> int | None:
+        """Youngest buffered store to this address, if any."""
+        for store in reversed(self._store_buffer):
+            if store.address == address:
+                return store.value
+        return None
+
+    def step(self) -> None:
+        """One cycle of the access engine."""
+        self._now += 1
+
+        # 1. Retire the oldest due load if the response channel has room.
+        if (
+            self._in_flight
+            and self._in_flight[0].ready_at <= self._now
+            and self.load_response is not None
+            and not self.load_response.is_full
+        ):
+            load = self._in_flight.popleft()
+            self.load_response.enqueue(load.value, load.tag)
+
+        # 2. Drain one store-buffer entry to memory.
+        if self._store_buffer:
+            store = self._store_buffer.popleft()
+            self.memory.store(store.address, store.value)
+            self.stores_committed += 1
+
+        # 3. Accept a new store (stores order ahead of same-cycle loads).
+        if (
+            self.store_address is not None
+            and self.store_data is not None
+            and not self.store_address.is_empty
+            and not self.store_data.is_empty
+            and len(self._store_buffer) < self._store_capacity
+        ):
+            address = self.store_address.dequeue().value
+            value = self.store_data.dequeue().value
+            self._store_buffer.append(_BufferedStore(address, value))
+
+        # 4. Accept a new load.  Matching buffered stores forward their
+        # value; the load still pays the pipeline latency (the datapath
+        # between buffer and response is the same length).
+        if (
+            self.load_request is not None
+            and not self.load_request.is_empty
+            and len(self._in_flight) < self.latency
+        ):
+            request = self.load_request.dequeue()
+            forwarded = self._forward_value(request.value)
+            if forwarded is not None:
+                value = forwarded
+                self.forwarded_loads += 1
+            else:
+                value = self.memory.load(request.value)
+            self.loads_issued += 1
+            self._in_flight.append(
+                _PendingLoad(
+                    ready_at=self._now + self.latency,
+                    value=value,
+                    tag=request.tag,
+                )
+            )
+
+    @property
+    def idle(self) -> bool:
+        return (
+            not self._in_flight
+            and not self._store_buffer
+            and (self.load_request is None or self.load_request.is_empty)
+            and (self.store_address is None or self.store_address.is_empty)
+            and (self.store_data is None or self.store_data.is_empty)
+        )
+
+    # Make the LSQ a drop-in "write port" for System bookkeeping.
+    @property
+    def stores_accepted(self) -> int:
+        return self.stores_committed

@@ -1,0 +1,159 @@
+"""System memory and its queue-endpoint ports.
+
+Main-memory operations in this architecture travel over the ordinary
+communication queues, with read and write ports acting as channel
+endpoints (Section 2.2, after prior work on distributed memory
+operations).  The paper's testbed serves all data from on-chip memory
+with a fixed four-cycle load latency, which these ports reproduce:
+
+* :class:`MemoryReadPort` — dequeues an address from its request queue
+  each cycle and, ``latency`` cycles later, enqueues the loaded word on
+  its response queue.  Requests are pipelined (initiation interval 1).
+* :class:`MemoryWritePort` — dequeues an (address, data) pair from its
+  two request queues when both are available and commits the store.
+
+Tags on the request are propagated to the response, so programs can
+thread semantic information (e.g. end-of-stream) through memory replies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.arch.queue import TaggedQueue
+from repro.errors import MemoryError_
+
+
+class Memory:
+    """Word-addressed system memory."""
+
+    def __init__(self, size_words: int, word_mask: int = 0xFFFFFFFF) -> None:
+        if size_words <= 0:
+            raise MemoryError_(f"memory size must be positive, got {size_words}")
+        self._words = [0] * size_words
+        self._word_mask = word_mask
+        self.loads = 0
+        self.stores = 0
+
+    def load(self, address: int) -> int:
+        self._check(address)
+        self.loads += 1
+        return self._words[address]
+
+    def store(self, address: int, value: int) -> None:
+        self._check(address)
+        self.stores += 1
+        self._words[address] = value & self._word_mask
+
+    def preload(self, values: list[int], base: int = 0) -> None:
+        """Host-side bulk initialization (data buffers for a benchmark)."""
+        if base < 0 or base + len(values) > len(self._words):
+            raise MemoryError_(
+                f"preload of {len(values)} words at {base} exceeds memory size"
+            )
+        for offset, value in enumerate(values):
+            self._words[base + offset] = value & self._word_mask
+
+    def dump(self, base: int, count: int) -> list[int]:
+        self._check(base)
+        if count < 0 or base + count > len(self._words):
+            raise MemoryError_(f"dump of {count} words at {base} exceeds memory size")
+        return self._words[base:base + count]
+
+    def _check(self, address: int) -> None:
+        if not 0 <= address < len(self._words):
+            raise MemoryError_(
+                f"memory address {address} out of range 0..{len(self._words) - 1}"
+            )
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+
+@dataclass
+class _InFlightLoad:
+    ready_at: int
+    value: int
+    tag: int
+
+
+class MemoryReadPort:
+    """A pipelined load endpoint: address queue in, data queue out."""
+
+    def __init__(self, memory: Memory, latency: int = 4, name: str = "rdport") -> None:
+        if latency < 1:
+            raise MemoryError_("read latency must be at least one cycle")
+        self.memory = memory
+        self.latency = latency
+        self.name = name
+        self.request: TaggedQueue | None = None   # wired by the System
+        self.response: TaggedQueue | None = None
+        self._in_flight: deque[_InFlightLoad] = deque()
+        self._now = 0
+
+    def step(self) -> None:
+        """One cycle: retire due responses, accept one new request."""
+        self._now += 1
+        # Retire the oldest response if due and there is space downstream.
+        if (
+            self._in_flight
+            and self._in_flight[0].ready_at <= self._now
+            and self.response is not None
+            and not self.response.is_full
+        ):
+            load = self._in_flight.popleft()
+            self.response.enqueue(load.value, load.tag)
+        # Accept a new request.  Loads are performed at acceptance (the
+        # memory is static during flight), the response waits out latency.
+        if self.request is not None and not self.request.is_empty:
+            # Avoid unbounded buildup: only accept when the in-flight window
+            # still has room for this load's eventual response.
+            if len(self._in_flight) < self.latency:
+                entry = self.request.dequeue()
+                self._in_flight.append(
+                    _InFlightLoad(
+                        ready_at=self._now + self.latency,
+                        value=self.memory.load(entry.value),
+                        tag=entry.tag,
+                    )
+                )
+
+    @property
+    def idle(self) -> bool:
+        return not self._in_flight and (self.request is None or self.request.is_empty)
+
+
+class MemoryWritePort:
+    """A store endpoint: address queue and data queue in.
+
+    ``stream``-style workloads drive the two queues from different PEs;
+    single-PE workloads interleave address and data words themselves.
+    """
+
+    def __init__(self, memory: Memory, name: str = "wrport") -> None:
+        self.memory = memory
+        self.name = name
+        self.address: TaggedQueue | None = None   # wired by the System
+        self.data: TaggedQueue | None = None
+        self.stores_accepted = 0
+
+    def step(self) -> None:
+        """Commit one store per cycle when both operands are available."""
+        if (
+            self.address is not None
+            and self.data is not None
+            and not self.address.is_empty
+            and not self.data.is_empty
+        ):
+            address = self.address.dequeue()
+            data = self.data.dequeue()
+            self.memory.store(address.value, data.value)
+            self.stores_accepted += 1
+
+    @property
+    def idle(self) -> bool:
+        return (
+            (self.address is None or self.address.is_empty)
+            and (self.data is None or self.data.is_empty)
+        )

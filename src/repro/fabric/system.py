@@ -1,0 +1,244 @@
+"""Multi-PE system: wiring, memory ports, and the cycle loop.
+
+A :class:`System` owns a set of processing elements (functional or
+pipelined — anything with the PE interface), a memory with read/write
+ports, and the channel wiring between them.  A producer PE's output
+queue and the consumer's input queue are the *same*
+:class:`~repro.arch.queue.TaggedQueue` object; staged-enqueue commit
+gives every channel a one-cycle traversal independent of step order.
+
+The run loop plays the role of the paper's Linux driver + userspace
+library: program the PEs, preload memory, run to completion, read back
+performance counters from the designated worker PE.
+"""
+
+from __future__ import annotations
+
+from repro.arch.queue import TaggedQueue
+from repro.errors import ConfigError, SimulationError
+from repro.fabric.lsq import LoadStoreQueue
+from repro.fabric.memory import Memory, MemoryReadPort, MemoryWritePort
+
+
+class System:
+    """A small spatial array plus memory, as in the paper's 4x4-max testbed."""
+
+    def __init__(self, memory_words: int = 1 << 16, memory_latency: int = 4) -> None:
+        self.memory = Memory(memory_words)
+        self.memory_latency = memory_latency
+        self.pes: list = []
+        self.read_ports: list[MemoryReadPort] = []
+        self.write_ports: list[MemoryWritePort] = []
+        self.lsqs: list[LoadStoreQueue] = []
+        self.cycles = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_pe(self, pe) -> None:
+        """Register a PE (functional or pipelined)."""
+        if any(existing.name == pe.name for existing in self.pes):
+            raise ConfigError(f"duplicate PE name {pe.name!r}")
+        self.pes.append(pe)
+
+    def pe(self, name: str):
+        """Look up a PE by name."""
+        for pe in self.pes:
+            if pe.name == name:
+                return pe
+        raise ConfigError(f"no PE named {name!r}")
+
+    def connect(self, producer, out_index: int, consumer, in_index: int) -> TaggedQueue:
+        """Wire producer output queue to consumer input queue (one channel)."""
+        channel = TaggedQueue(
+            producer.outputs[out_index].capacity,
+            f"{producer.name}.o{out_index}->{consumer.name}.i{in_index}",
+        )
+        producer.outputs[out_index] = channel
+        consumer.inputs[in_index] = channel
+        return channel
+
+    def add_read_port(self, pe, request_out: int, response_in: int) -> MemoryReadPort:
+        """Give a PE a load endpoint: addresses out, data back in."""
+        port = MemoryReadPort(
+            self.memory, self.memory_latency, f"rd<-{pe.name}.o{request_out}"
+        )
+        request = TaggedQueue(pe.outputs[request_out].capacity, f"{port.name}.req")
+        response = TaggedQueue(pe.inputs[response_in].capacity, f"{port.name}.rsp")
+        pe.outputs[request_out] = request
+        pe.inputs[response_in] = response
+        port.request = request
+        port.response = response
+        self.read_ports.append(port)
+        return port
+
+    def add_write_port(self, addr_pe, addr_out: int, data_pe, data_out: int) -> MemoryWritePort:
+        """Give PE(s) a store endpoint: an address channel and a data channel.
+
+        The two channels may come from the same PE (it interleaves its own
+        address/data traffic) or from two PEs (the ``stream`` pattern).
+        """
+        port = MemoryWritePort(self.memory, f"wr<-{addr_pe.name}/{data_pe.name}")
+        address = TaggedQueue(addr_pe.outputs[addr_out].capacity, f"{port.name}.addr")
+        data = TaggedQueue(data_pe.outputs[data_out].capacity, f"{port.name}.data")
+        addr_pe.outputs[addr_out] = address
+        data_pe.outputs[data_out] = data
+        port.address = address
+        port.data = data
+        self.write_ports.append(port)
+        return port
+
+    def add_load_store_queue(
+        self,
+        pe,
+        load_request_out: int,
+        load_response_in: int,
+        store_address_out: int,
+        store_data_out: int,
+        store_buffer_entries: int = 4,
+    ) -> LoadStoreQueue:
+        """Give a PE a decoupled load-store queue (Section 6 extension).
+
+        Replaces a (read port, write port) pair with one unit that keeps
+        an in-order store buffer and forwards buffered stores to younger
+        matching loads.
+        """
+        lsq = LoadStoreQueue(
+            self.memory, self.memory_latency, store_buffer_entries,
+            name=f"lsq<-{pe.name}",
+        )
+        capacity = pe.outputs[load_request_out].capacity
+        lsq.load_request = TaggedQueue(capacity, f"{lsq.name}.ld.req")
+        lsq.load_response = TaggedQueue(
+            pe.inputs[load_response_in].capacity, f"{lsq.name}.ld.rsp")
+        lsq.store_address = TaggedQueue(
+            pe.outputs[store_address_out].capacity, f"{lsq.name}.st.addr")
+        lsq.store_data = TaggedQueue(
+            pe.outputs[store_data_out].capacity, f"{lsq.name}.st.data")
+        pe.outputs[load_request_out] = lsq.load_request
+        pe.inputs[load_response_in] = lsq.load_response
+        pe.outputs[store_address_out] = lsq.store_address
+        pe.outputs[store_data_out] = lsq.store_data
+        self.lsqs.append(lsq)
+        return lsq
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def _all_channels(self) -> list[TaggedQueue]:
+        seen: dict[int, TaggedQueue] = {}
+        for pe in self.pes:
+            for queue in list(pe.inputs) + list(pe.outputs):
+                seen[id(queue)] = queue
+        for port in self.read_ports:
+            for queue in (port.request, port.response):
+                if queue is not None:
+                    seen[id(queue)] = queue
+        for port in self.write_ports:
+            for queue in (port.address, port.data):
+                if queue is not None:
+                    seen[id(queue)] = queue
+        for lsq in self.lsqs:
+            for queue in (lsq.load_request, lsq.load_response,
+                          lsq.store_address, lsq.store_data):
+                if queue is not None:
+                    seen[id(queue)] = queue
+        return list(seen.values())
+
+    @property
+    def all_halted(self) -> bool:
+        return all(pe.halted for pe in self.pes)
+
+    def step(self) -> bool:
+        """Advance the whole system one cycle; True if anything progressed."""
+        progressed = False
+        for pe in self.pes:
+            if pe.step():
+                progressed = True
+        for port in self.read_ports:
+            busy_before = not port.idle
+            port.step()
+            if busy_before:
+                progressed = True
+        stores_before = sum(port.stores_accepted for port in self.write_ports)
+        for port in self.write_ports:
+            port.step()
+        if sum(port.stores_accepted for port in self.write_ports) != stores_before:
+            progressed = True
+        for lsq in self.lsqs:
+            busy_before = not lsq.idle
+            lsq.step()
+            if busy_before:
+                progressed = True
+        for channel in self._all_channels():
+            channel.commit()
+        self.cycles += 1
+        return progressed
+
+    @property
+    def ports_idle(self) -> bool:
+        return (
+            all(port.idle for port in self.read_ports)
+            and all(port.idle for port in self.write_ports)
+            and all(lsq.idle for lsq in self.lsqs)
+        )
+
+    def run(
+        self,
+        max_cycles: int = 2_000_000,
+        stall_limit: int = 20_000,
+        flush_limit: int = 1_000,
+    ) -> int:
+        """Run until every PE halts and memory ports drain; returns cycles.
+
+        Raises :class:`SimulationError` on deadlock (no architectural
+        progress for ``stall_limit`` cycles) or timeout, with a channel
+        occupancy dump to aid debugging.
+        """
+        if not self.pes:
+            raise ConfigError("system has no PEs")
+        idle_streak = 0
+        for _ in range(max_cycles):
+            if self.all_halted:
+                break
+            progressed = self.step()
+            idle_streak = 0 if progressed else idle_streak + 1
+            if idle_streak >= stall_limit:
+                raise SimulationError(
+                    "deadlock: no progress for "
+                    f"{stall_limit} cycles at cycle {self.cycles}\n{self._state_dump()}"
+                )
+        else:
+            raise SimulationError(
+                f"timeout after {max_cycles} cycles\n{self._state_dump()}"
+            )
+        # Let in-flight memory traffic land (stores issued just before halt).
+        for _ in range(flush_limit):
+            if self.ports_idle:
+                return self.cycles
+            self.step()
+        raise SimulationError(
+            f"memory ports still busy {flush_limit} cycles after halt\n"
+            f"{self._state_dump()}"
+        )
+
+    def _state_dump(self) -> str:
+        lines = []
+        for pe in self.pes:
+            lines.append(
+                f"  {pe.name}: halted={pe.halted} retired={pe.counters.retired} "
+                f"preds={pe.preds.state:08b}"
+            )
+            for queue in pe.inputs:
+                if queue.occupancy:
+                    head = queue.peek(0)
+                    lines.append(
+                        f"    in  {queue.name}: occ={queue.occupancy} "
+                        f"head=({head.value}, tag={head.tag})"
+                    )
+            for queue in pe.outputs:
+                if queue.occupancy:
+                    lines.append(f"    out {queue.name}: occ={queue.occupancy}")
+        return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""The triggered-instruction ISA: operations, instruction format, encoding.
+
+This subpackage defines the paper's "generic, integer ISA" (Section 2.2):
+the 42 operations, the trigger/datapath instruction structure, the binary
+encoding of Table 2, and the 32-bit integer semantics of every operation.
+"""
+
+from repro.isa.opcodes import Op, OpClass, OPS, op_by_name
+from repro.isa.instruction import (
+    Instruction,
+    Trigger,
+    DatapathOp,
+    Operand,
+    OperandType,
+    Destination,
+    DestinationType,
+    PredUpdate,
+    TagCheck,
+)
+from repro.isa.encoding import encode_instruction, decode_instruction, encode_program, decode_program
+from repro.isa.alu import alu_execute, AluResult
+
+__all__ = [
+    "Op",
+    "OpClass",
+    "OPS",
+    "op_by_name",
+    "Instruction",
+    "Trigger",
+    "DatapathOp",
+    "Operand",
+    "OperandType",
+    "Destination",
+    "DestinationType",
+    "PredUpdate",
+    "TagCheck",
+    "encode_instruction",
+    "decode_instruction",
+    "encode_program",
+    "decode_program",
+    "alu_execute",
+    "AluResult",
+]

@@ -1,0 +1,175 @@
+"""Integer semantics for every ISA operation.
+
+All values are Python ints held in unsigned word representation
+(0 .. 2**word_width - 1).  Signed operations reinterpret the bit pattern
+in two's complement.  Results are always truncated back to the word.
+
+The scratchpad operations (``lsw``/``ssw``) are resolved here against a
+scratchpad object passed by the caller, so the same semantics serve the
+functional simulator and every pipeline model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.isa.opcodes import Op
+from repro.params import ArchParams
+
+
+@dataclass(frozen=True)
+class AluResult:
+    """Outcome of executing one operation's datapath."""
+
+    value: int = 0
+    halt: bool = False
+    store: tuple[int, int] | None = None   # (address, value) for ssw
+
+
+def to_signed(value: int, params: ArchParams) -> int:
+    """Reinterpret an unsigned word as two's-complement signed."""
+    value &= params.word_mask
+    if value & params.word_sign_bit:
+        return value - (1 << params.word_width)
+    return value
+
+
+def to_unsigned(value: int, params: ArchParams) -> int:
+    """Truncate any Python int into the unsigned word representation."""
+    return value & params.word_mask
+
+
+def _clz(x: int, width: int) -> int:
+    if x == 0:
+        return width
+    return width - x.bit_length()
+
+
+def _ctz(x: int, width: int) -> int:
+    if x == 0:
+        return width
+    return (x & -x).bit_length() - 1
+
+
+def _brev(x: int, width: int) -> int:
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (x & 1)
+        x >>= 1
+    return result
+
+
+def alu_execute(
+    op: Op,
+    a: int,
+    b: int,
+    params: ArchParams,
+    scratchpad=None,
+) -> AluResult:
+    """Execute one operation on unsigned-word operands ``a`` and ``b``.
+
+    ``scratchpad`` must support ``load(addr)`` / ``store(addr, value)``
+    and is only consulted for the memory operations.
+    """
+    w = params.word_width
+    mask = params.word_mask
+    a &= mask
+    b &= mask
+    m = op.mnemonic
+
+    if m == "nop":
+        return AluResult()
+    if m == "halt":
+        return AluResult(halt=True)
+    if m == "mov":
+        return AluResult(value=a)
+    if m == "add":
+        return AluResult(value=(a + b) & mask)
+    if m == "sub":
+        return AluResult(value=(a - b) & mask)
+    if m == "mul":
+        return AluResult(value=(a * b) & mask)
+    if m == "mulh":
+        sa, sb = to_signed(a, params), to_signed(b, params)
+        return AluResult(value=((sa * sb) >> w) & mask)
+    if m == "mulhu":
+        return AluResult(value=((a * b) >> w) & mask)
+    if m == "and":
+        return AluResult(value=a & b)
+    if m == "or":
+        return AluResult(value=a | b)
+    if m == "xor":
+        return AluResult(value=a ^ b)
+    if m == "nor":
+        return AluResult(value=~(a | b) & mask)
+    if m == "nand":
+        return AluResult(value=~(a & b) & mask)
+    if m == "xnor":
+        return AluResult(value=~(a ^ b) & mask)
+    if m == "not":
+        return AluResult(value=~a & mask)
+    if m == "shl":
+        return AluResult(value=(a << (b % w)) & mask)
+    if m == "shr":
+        return AluResult(value=(a >> (b % w)) & mask)
+    if m == "asr":
+        return AluResult(value=(to_signed(a, params) >> (b % w)) & mask)
+    if m == "rol":
+        s = b % w
+        return AluResult(value=((a << s) | (a >> (w - s))) & mask if s else a)
+    if m == "ror":
+        s = b % w
+        return AluResult(value=((a >> s) | (a << (w - s))) & mask if s else a)
+    if m == "clz":
+        return AluResult(value=_clz(a, w))
+    if m == "ctz":
+        return AluResult(value=_ctz(a, w))
+    if m == "popc":
+        return AluResult(value=bin(a).count("1"))
+    if m == "brev":
+        return AluResult(value=_brev(a, w))
+    if m == "sext8":
+        v = a & 0xFF
+        return AluResult(value=(v | (mask ^ 0xFF)) & mask if v & 0x80 else v)
+    if m == "sext16":
+        v = a & 0xFFFF
+        return AluResult(value=(v | (mask ^ 0xFFFF)) & mask if v & 0x8000 else v)
+    if m == "eq":
+        return AluResult(value=int(a == b))
+    if m == "ne":
+        return AluResult(value=int(a != b))
+    if m == "slt":
+        return AluResult(value=int(to_signed(a, params) < to_signed(b, params)))
+    if m == "sle":
+        return AluResult(value=int(to_signed(a, params) <= to_signed(b, params)))
+    if m == "sgt":
+        return AluResult(value=int(to_signed(a, params) > to_signed(b, params)))
+    if m == "sge":
+        return AluResult(value=int(to_signed(a, params) >= to_signed(b, params)))
+    if m == "ult":
+        return AluResult(value=int(a < b))
+    if m == "ule":
+        return AluResult(value=int(a <= b))
+    if m == "ugt":
+        return AluResult(value=int(a > b))
+    if m == "uge":
+        return AluResult(value=int(a >= b))
+    if m == "eqz":
+        return AluResult(value=int(a == 0))
+    if m == "nez":
+        return AluResult(value=int(a != 0))
+    if m == "land":
+        return AluResult(value=int(bool(a) and bool(b)))
+    if m == "lor":
+        return AluResult(value=int(bool(a) or bool(b)))
+    if m == "lsw":
+        if scratchpad is None:
+            raise SimulationError("lsw executed on a PE without a scratchpad")
+        return AluResult(value=scratchpad.load(a) & mask)
+    if m == "ssw":
+        if scratchpad is None:
+            raise SimulationError("ssw executed on a PE without a scratchpad")
+        return AluResult(store=(a, b))
+
+    raise SimulationError(f"operation {m!r} has no defined semantics")

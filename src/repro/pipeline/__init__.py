@@ -1,0 +1,25 @@
+"""Cycle-accurate pipelined triggered-PE models (paper Section 5)."""
+
+from repro.pipeline.config import (
+    PipelineConfig,
+    QueuePolicy,
+    ALL_PARTITIONS,
+    PIPELINED_PARTITIONS,
+    all_configs,
+    config_by_name,
+)
+from repro.pipeline.counters import PipelineCounters
+from repro.pipeline.core import PipelinedPE
+from repro.pipeline.predictor import PredicatePredictor
+
+__all__ = [
+    "PipelineConfig",
+    "QueuePolicy",
+    "ALL_PARTITIONS",
+    "PIPELINED_PARTITIONS",
+    "all_configs",
+    "config_by_name",
+    "PipelineCounters",
+    "PipelinedPE",
+    "PredicatePredictor",
+]

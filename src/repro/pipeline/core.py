@@ -1,0 +1,477 @@
+"""Cycle-accurate model of a pipelined triggered PE (paper Section 5).
+
+The model is an in-order, single-issue pipeline over the configured
+stage partition.  Timing semantics:
+
+* **Issue (T stage)** — trigger resolution against live predicate state
+  and the configured queue-status view.  The issue-time
+  :class:`~repro.isa.instruction.PredUpdate` applies immediately (the
+  ``PC = PC + 4`` analogue), so it never hazards.
+* **Decode (exit of the D stage)** — operands are captured (with full
+  register forwarding) and input-queue dequeues take effect, matching
+  the paper's decision to move dequeues out of the trigger stage.
+* **Results** — single-stage ALU operations produce (forwardable)
+  results at the end of the stage containing X (or X1); multiplies and
+  scratchpad loads at the end of X2.  A consumer stuck in decode behind
+  an unready producer is a *data hazard*.
+* **Retire (exit of the last stage)** — register writes, output-queue
+  enqueues, scratchpad stores and datapath *predicate* writes commit.
+  Predicates resolve only here — bypassing them into the scheduler is
+  exactly what the trigger critical path cannot afford — which is why
+  the predicate-hazard penalty depends only on pipeline depth, as the
+  paper observes.
+
+Predicate prediction (+P) follows Section 5.2: a two-bit saturating
+counter per predicate offers a value when a predicate-writing
+instruction issues, provided no speculation is outstanding (the paper's
+scheme is non-nested; ``speculative_depth`` > 1 models the Section 6
+extension).  While unresolved, instructions with pre-retirement side
+effects (dequeues) are recognized but forbidden from issue.  On
+misprediction the pipeline is flushed and the saved predicate state is
+restored with the actual outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.predicates import PredicateFile
+from repro.arch.queue import TaggedQueue
+from repro.arch.regfile import RegisterFile
+from repro.arch.scheduler import Scheduler, TriggerKind
+from repro.arch.scratchpad import Scratchpad
+from repro.errors import SimulationError
+from repro.isa.alu import AluResult, alu_execute
+from repro.isa.instruction import DestinationType, Instruction, OperandType
+from repro.params import ArchParams, DEFAULT_PARAMS
+from repro.pipeline.config import PipelineConfig, QueuePolicy, SINGLE_CYCLE
+from repro.pipeline.counters import PipelineCounters
+from repro.pipeline.predictor import PredicatePredictor
+from repro.pipeline.queue_status import InFlightQueueState, make_queue_view
+
+
+@dataclass
+class _InFlight:
+    """One instruction travelling down the pipe."""
+
+    ins: Instruction
+    slot: int
+    seq: int
+    stage: int
+    captured: bool = False
+    operands: tuple[int, int] = (0, 0)
+    result: AluResult | None = None
+    result_ready: bool = False
+    pred_committed: bool = False   # predicate write already applied (+P)
+
+    @property
+    def writes_reg(self) -> bool:
+        return self.ins.dp.dst.kind is DestinationType.REG
+
+    @property
+    def writes_pred(self) -> bool:
+        return self.ins.dp.writes_predicate
+
+
+@dataclass
+class _Speculation:
+    """One outstanding predicate prediction."""
+
+    owner_seq: int
+    pred_index: int
+    predicted: int
+    fallback: int   # predicate state to restore on misprediction
+
+
+class PipelinedPE:
+    """A triggered PE with a configurable pipeline microarchitecture."""
+
+    def __init__(
+        self,
+        config: PipelineConfig = SINGLE_CYCLE,
+        params: ArchParams = DEFAULT_PARAMS,
+        name: str = "pe",
+        has_scratchpad: bool = True,
+        initial_predicates: int = 0,
+    ) -> None:
+        self.config = config
+        self.params = params
+        self.name = name
+        capacity = params.queue_capacity
+        out_capacity = capacity
+        if config.queue_policy is QueuePolicy.PADDED:
+            # The reject buffer: one extra physical slot per pipeline stage.
+            out_capacity = capacity + config.depth
+        self.inputs = [
+            TaggedQueue(capacity, f"{name}.i{i}")
+            for i in range(params.num_input_queues)
+        ]
+        self.outputs = [
+            TaggedQueue(out_capacity, f"{name}.o{i}")
+            for i in range(params.num_output_queues)
+        ]
+        self.regs = RegisterFile(params)
+        self.preds = PredicateFile(params, initial_predicates)
+        self.scratchpad = Scratchpad(params) if has_scratchpad else None
+        self.scheduler = Scheduler(params)
+        self.predictor = PredicatePredictor(params)
+        self.instructions: list[Instruction] = []
+        self.counters = PipelineCounters()
+        self.halted = False
+        self._initial_predicates = initial_predicates
+        self._pipe: list[_InFlight | None] = [None] * config.depth
+        self._queue_state = InFlightQueueState(
+            params.num_input_queues, params.num_output_queues
+        )
+        self._specs: list[_Speculation] = []
+        self._next_seq = 0
+        self._halt_pending = False
+
+    # ------------------------------------------------------------------
+    # Host interface
+    # ------------------------------------------------------------------
+
+    def load_program(self, instructions: list[Instruction]) -> None:
+        if len(instructions) > self.params.num_instructions:
+            raise SimulationError(
+                f"{self.name}: program of {len(instructions)} instructions "
+                f"exceeds NIns = {self.params.num_instructions}"
+            )
+        for ins in instructions:
+            if ins.valid:
+                ins.validate(self.params)
+        self.instructions = list(instructions)
+
+    def reset(self) -> None:
+        for queue in self.inputs:
+            queue.reset()
+        for queue in self.outputs:
+            queue.reset()
+        self.regs.reset()
+        self.preds.reset(self._initial_predicates)
+        if self.scratchpad is not None:
+            self.scratchpad.reset()
+        self.predictor.reset()
+        self.counters = PipelineCounters()
+        self.halted = False
+        self._pipe = [None] * self.config.depth
+        self._queue_state.reset()
+        self._specs = []
+        self._next_seq = 0
+        self._halt_pending = False
+
+    def commit_queues(self) -> None:
+        for queue in self.inputs:
+            queue.commit()
+        for queue in self.outputs:
+            queue.commit()
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Advance one cycle; True when an instruction issued or retired."""
+        if self.halted:
+            return False
+        self.counters.cycles += 1
+        config = self.config
+        depth = config.depth
+        progressed = False
+        data_stall = False
+
+        # 1. Advance the pipe back to front; retire from the last stage.
+        for stage in reversed(range(depth)):
+            entry = self._pipe[stage]
+            if entry is None:
+                continue
+            if stage == depth - 1:
+                self._retire(entry)
+                self._pipe[stage] = None
+                progressed = True
+                if self.halted:
+                    # The halting cycle issues nothing; keep the CPI stack
+                    # tiling exact by classifying it as an idle cycle.
+                    self.counters.none_triggered_cycles += 1
+                    return True
+                continue
+            if self._pipe[stage + 1] is not None:
+                continue  # structural stall behind a blocked stage
+            if stage == config.decode_stage and not entry.captured:
+                continue  # data hazard: operands not captured yet
+            self._pipe[stage] = None
+            entry.stage = stage + 1
+            self._pipe[stage + 1] = entry
+
+        # 2. End-of-stage work: operand capture in D, results where due.
+        decode_entry = self._pipe[config.decode_stage]
+        if decode_entry is not None and not decode_entry.captured:
+            if self._operands_ready(decode_entry):
+                self._capture(decode_entry)
+            else:
+                data_stall = True
+        # Oldest first: a mispredicting owner must flush younger entries
+        # before any of them commits an early predicate write of its own.
+        for entry in reversed(self._pipe):
+            if entry is None or entry.result_ready or not entry.captured:
+                continue
+            late = entry.ins.dp.op.late_result
+            if entry.stage >= config.result_stage(late):
+                self._compute(entry)
+
+        # 3. Trigger stage: issue a new instruction if the slot is free.
+        if self._pipe[0] is not None:
+            # The front is blocked; only data hazards stall this pipeline.
+            self.counters.data_hazard_cycles += 1
+            return progressed
+        if self._halt_pending:
+            self.counters.none_triggered_cycles += 1
+            return progressed
+        outcome = self.scheduler.evaluate(
+            self.instructions,
+            self.preds.state,
+            make_queue_view(config, self.inputs, self.outputs, self._queue_state),
+            pending_predicates=self._pending_predicates(),
+            forbid_side_effects=bool(self._specs),
+        )
+        if outcome.kind is TriggerKind.FIRED:
+            self._issue(self.instructions[outcome.index], outcome.index)
+            # When decode is coalesced into the trigger stage, operand
+            # capture and dequeues belong to the issue cycle itself.
+            entry = self._pipe[0]
+            if self.config.decode_stage == 0 and self._operands_ready(entry):
+                self._capture(entry)
+                late = entry.ins.dp.op.late_result
+                if self.config.result_stage(late) == 0:
+                    self._compute(entry)
+            progressed = True
+        elif outcome.kind is TriggerKind.PREDICATE_HAZARD:
+            self.counters.pred_hazard_cycles += 1
+        elif outcome.kind is TriggerKind.FORBIDDEN:
+            self.counters.forbidden_cycles += 1
+        else:
+            self.counters.none_triggered_cycles += 1
+        return progressed
+
+    # ------------------------------------------------------------------
+    # Issue
+    # ------------------------------------------------------------------
+
+    def _pending_predicates(self) -> int:
+        """Predicate bits with in-flight, *unpredicted* datapath writes."""
+        predicted_seqs = {spec.owner_seq for spec in self._specs}
+        mask = 0
+        for entry in self._pipe:
+            if entry is None or not entry.writes_pred or entry.pred_committed:
+                continue
+            if entry.seq in predicted_seqs:
+                continue
+            mask |= 1 << entry.ins.dp.dst.index
+        return mask
+
+    def _issue(self, ins: Instruction, slot: int) -> None:
+        entry = _InFlight(ins=ins, slot=slot, seq=self._next_seq, stage=0)
+        self._next_seq += 1
+        self._pipe[0] = entry
+        self.counters.issued += 1
+
+        # Issue-time atomic predicate update (never survives a flush of
+        # this instruction, so it touches only the live state).
+        self.preds.apply_update(ins.dp.pred_update)
+
+        # Book pending queue activity for the status views.
+        for queue in ins.dp.deq:
+            self._queue_state.pending_deqs[queue] += 1
+            self._queue_state.sched_deqs[queue] += 1
+        out = ins.output_queue
+        if out is not None:
+            self._queue_state.pending_enqs[out] += 1
+
+        # Offer a prediction for a predicate-writing instruction.
+        if (
+            ins.dp.writes_predicate
+            and self.config.predicate_prediction
+            and len(self._specs) < self.config.speculative_depth
+        ):
+            index = ins.dp.dst.index
+            predicted = self.predictor.predict(index)
+            self._specs.append(
+                _Speculation(
+                    owner_seq=entry.seq,
+                    pred_index=index,
+                    predicted=predicted,
+                    fallback=self.preds.state,
+                )
+            )
+            self.preds.write_bit(index, predicted)
+
+        if ins.dp.op.mnemonic == "halt":
+            self._halt_pending = True
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+
+    def _youngest_producer(self, reg: int, before_seq: int) -> _InFlight | None:
+        best = None
+        for entry in self._pipe:
+            if entry is None or entry.seq >= before_seq:
+                continue
+            if entry.writes_reg and entry.ins.dp.dst.index == reg:
+                if best is None or entry.seq > best.seq:
+                    best = entry
+        return best
+
+    def _operands_ready(self, entry: _InFlight) -> bool:
+        for src in entry.ins.dp.srcs:
+            if src.kind is OperandType.REG:
+                producer = self._youngest_producer(src.index, entry.seq)
+                if producer is not None and not producer.result_ready:
+                    return False
+        return True
+
+    def _capture(self, entry: _InFlight) -> None:
+        """Read operands (with forwarding) and perform dequeues."""
+        dp = entry.ins.dp
+        operands = []
+        for src in dp.srcs:
+            if src.kind is OperandType.REG:
+                producer = self._youngest_producer(src.index, entry.seq)
+                if producer is not None:
+                    operands.append(producer.result.value)
+                else:
+                    operands.append(self.regs.read(src.index))
+            elif src.kind is OperandType.IN:
+                operands.append(self.inputs[src.index].peek(0).value)
+            elif src.kind is OperandType.IMM:
+                operands.append(dp.imm & self.params.word_mask)
+            else:
+                operands.append(0)
+        while len(operands) < 2:
+            operands.append(0)
+        entry.operands = (operands[0], operands[1])
+        entry.captured = True
+        for queue in dp.deq:
+            self.inputs[queue].dequeue()
+            self._queue_state.pending_deqs[queue] -= 1
+            self.counters.dequeues += 1
+
+    # ------------------------------------------------------------------
+    # Execute / retire
+    # ------------------------------------------------------------------
+
+    def _compute(self, entry: _InFlight) -> None:
+        entry.result = alu_execute(
+            entry.ins.dp.op,
+            entry.operands[0],
+            entry.operands[1],
+            self.params,
+            self.scratchpad,
+        )
+        entry.result_ready = True
+        # The speculative predicate unit (+P) sees computed predicates as
+        # soon as the ALU produces them: predictions verify here, and
+        # unpredicted writes bypass into its live state early.  Without
+        # +P there is no such unit, and predicates resolve at retirement.
+        if entry.writes_pred and self.config.predicate_prediction:
+            self._commit_predicate_write(entry, entry.result.value & 1)
+            entry.pred_committed = True
+
+    def _retire(self, entry: _InFlight) -> None:
+        if not entry.captured:
+            self._capture(entry)    # D coalesced into the final stage
+        if not entry.result_ready:
+            self._compute(entry)
+        result = entry.result
+        dp = entry.ins.dp
+        dst = dp.dst
+
+        # The scheduler-visible dequeue window closes only at retirement.
+        for queue in dp.deq:
+            self._queue_state.sched_deqs[queue] -= 1
+
+        if result.store is not None:
+            if self.scratchpad is None:
+                raise SimulationError(f"{self.name}: store without a scratchpad")
+            self.scratchpad.store(*result.store)
+
+        if dst.kind is DestinationType.REG:
+            self.regs.write(dst.index, result.value)
+        elif dst.kind is DestinationType.OUT:
+            self.outputs[dst.index].enqueue(result.value, dst.out_tag)
+            self._queue_state.pending_enqs[dst.index] -= 1
+            self.counters.enqueues += 1
+        elif dst.kind is DestinationType.PRED and not entry.pred_committed:
+            self._commit_predicate_write(entry, result.value & 1)
+
+        if result.halt:
+            self.halted = True
+
+        self.counters.retired += 1
+        self.counters.retired_by_op[dp.op.mnemonic] += 1
+        self.counters.retired_by_slot[entry.slot] += 1
+
+    def _commit_predicate_write(self, entry: _InFlight, actual: int) -> None:
+        self.counters.predicate_writes += 1
+        index = entry.ins.dp.dst.index
+        self.predictor.record_outcome(index, actual)
+
+        spec = next((s for s in self._specs if s.owner_seq == entry.seq), None)
+        if spec is None:
+            # Unpredicted write: lands in the live state — unless a
+            # *younger* in-flight prediction already holds this bit, in
+            # which case program order makes the predicted value current
+            # and this older write only feeds the rollback state.
+            younger_prediction_holds_bit = any(
+                s.pred_index == index and s.owner_seq > entry.seq
+                for s in self._specs
+            )
+            if not younger_prediction_holds_bit:
+                self.preds.write_bit(index, actual)
+            # The write must survive the rollback of any younger
+            # speculation (their fallbacks absorb it), but a speculation
+            # older than this writer would flush it, so its fallback
+            # must not change.
+            for other in self._specs:
+                if other.owner_seq > entry.seq:
+                    if actual:
+                        other.fallback |= 1 << index
+                    else:
+                        other.fallback &= ~(1 << index)
+            return
+
+        correct = spec.predicted == actual
+        self.counters.predictions += 1
+        self.predictor.record_resolution(correct)
+        if correct:
+            self._specs.remove(spec)
+            return
+        self.counters.mispredictions += 1
+        self._flush_younger_than(spec.owner_seq)
+        self._specs = [s for s in self._specs if s.owner_seq < spec.owner_seq]
+        restored = spec.fallback
+        if actual:
+            restored |= 1 << index
+        else:
+            restored &= ~(1 << index)
+        self.preds.state = restored
+
+    def _flush_younger_than(self, owner_seq: int) -> None:
+        """Quash every in-flight instruction issued after the owner."""
+        for stage, entry in enumerate(self._pipe):
+            if entry is None or entry.seq <= owner_seq:
+                continue
+            if entry.ins.dp.deq and not entry.captured:
+                # Cannot happen: dequeues are forbidden during speculation.
+                raise SimulationError(
+                    f"{self.name}: flushing an uncaptured dequeue instruction"
+                )
+            out = entry.ins.output_queue
+            if out is not None:
+                self._queue_state.pending_enqs[out] -= 1
+            self._pipe[stage] = None
+            self.counters.quashed += 1
+        self._halt_pending = any(
+            entry is not None and entry.ins.dp.op.mnemonic == "halt"
+            for entry in self._pipe
+        )

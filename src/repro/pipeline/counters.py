@@ -1,0 +1,93 @@
+"""Per-cycle pipeline performance counters and CPI stacks (Figure 5).
+
+Every simulated cycle of a pipelined PE is attributed to exactly one of
+the paper's six categories:
+
+* **retired** — an instruction issued this cycle and eventually retired;
+* **quashed** — an instruction issued this cycle but was flushed by a
+  predicate misprediction;
+* **predicate hazard** — no issue: the highest-priority candidate's
+  trigger inspects a predicate with an unresolved in-flight write;
+* **data hazard** — no issue: the pipeline front is stalled behind a
+  register/functional-unit dependence;
+* **forbidden** — no issue: the triggered instruction has pre-retirement
+  side effects and a speculation is unresolved;
+* **no triggered instruction** — no trigger condition matched (includes
+  conservative queue-status stalls, which +Q removes).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PipelineCounters:
+    """Counter block of one pipelined PE (the paper's in-vivo counters)."""
+
+    cycles: int = 0
+    issued: int = 0
+    retired: int = 0
+    quashed: int = 0
+    pred_hazard_cycles: int = 0
+    data_hazard_cycles: int = 0
+    forbidden_cycles: int = 0
+    none_triggered_cycles: int = 0
+    predicate_writes: int = 0      # retired datapath predicate writes
+    predictions: int = 0
+    mispredictions: int = 0
+    enqueues: int = 0
+    dequeues: int = 0
+    retired_by_op: Counter = field(default_factory=Counter)
+    retired_by_slot: Counter = field(default_factory=Counter)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cpi(self) -> float:
+        if self.retired == 0:
+            return float("inf")
+        return self.cycles / self.retired
+
+    @property
+    def predicate_write_rate(self) -> float:
+        if self.retired == 0:
+            return 0.0
+        return self.predicate_writes / self.retired
+
+    @property
+    def prediction_accuracy(self) -> float | None:
+        if self.predictions == 0:
+            return None
+        return (self.predictions - self.mispredictions) / self.predictions
+
+    def stack(self) -> dict[str, float]:
+        """The Figure 5 CPI stack: cycles per retired instruction by class."""
+        if self.retired == 0:
+            return {}
+        issued_cycles = self.issued
+        quashed_cycles = self.quashed
+        retired_cycles = issued_cycles - quashed_cycles
+        return {
+            "retired": retired_cycles / self.retired,
+            "quashed": quashed_cycles / self.retired,
+            "predicate_hazard": self.pred_hazard_cycles / self.retired,
+            "data_hazard": self.data_hazard_cycles / self.retired,
+            "forbidden": self.forbidden_cycles / self.retired,
+            "none_triggered": self.none_triggered_cycles / self.retired,
+        }
+
+    def check_consistency(self) -> None:
+        """The six categories must tile the cycle count exactly."""
+        total = (
+            self.issued
+            + self.pred_hazard_cycles
+            + self.data_hazard_cycles
+            + self.forbidden_cycles
+            + self.none_triggered_cycles
+        )
+        if total != self.cycles:
+            raise AssertionError(
+                f"cycle accounting leak: {total} classified vs {self.cycles} cycles"
+            )

@@ -1,0 +1,62 @@
+"""The speculative predicate unit (paper Section 5.2).
+
+A bank of two-bit saturating counters, one per predicate register.  When
+a program assigns semantic significance to particular predicates —
+writing each only for one binary decision, as the paper's hand-written
+benchmarks do — this bank acts as a per-branch predictor without the
+usual cost of indexing a predictor table by instruction pointer.
+"""
+
+from __future__ import annotations
+
+from repro.params import ArchParams
+
+
+class PredicatePredictor:
+    """Two-bit saturating predictor per predicate bit."""
+
+    STRONG_NOT = 0
+    WEAK_NOT = 1
+    WEAK_TAKEN = 2
+    STRONG_TAKEN = 3
+
+    def __init__(self, params: ArchParams, initial: int = WEAK_NOT) -> None:
+        self._params = params
+        self._initial = initial
+        self.counters = [initial] * params.num_preds
+        self.predictions = 0
+        self.correct = 0
+
+    def predict(self, index: int) -> int:
+        """Predicted value (0/1) for one predicate bit."""
+        return int(self.counters[index] >= self.WEAK_TAKEN)
+
+    def record_outcome(self, index: int, actual: int) -> None:
+        """Train on an actual datapath predicate write outcome.
+
+        Called for *every* resolved predicate write, whether or not a
+        prediction was outstanding — the counters track the stream of
+        outcomes exactly like a branch history counter.
+        """
+        if actual:
+            self.counters[index] = min(self.STRONG_TAKEN, self.counters[index] + 1)
+        else:
+            self.counters[index] = max(self.STRONG_NOT, self.counters[index] - 1)
+
+    def record_resolution(self, correct: bool) -> None:
+        """Account one resolved prediction (Figure 4 accuracy)."""
+        self.predictions += 1
+        if correct:
+            self.correct += 1
+
+    @property
+    def accuracy(self) -> float | None:
+        """Fraction of resolved predictions that were correct."""
+        if self.predictions == 0:
+            return None
+        return self.correct / self.predictions
+
+    def reset(self) -> None:
+        self.counters = [self._initial] * self._params.num_preds
+        self.predictions = 0
+        self.correct = 0

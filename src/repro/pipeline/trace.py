@@ -1,0 +1,133 @@
+"""Per-PE debug monitor: cycle-by-cycle pipeline traces.
+
+The paper's FPGA prototype exposes per-PE debug monitors next to the
+performance counters; this is the simulator-side equivalent.  A
+:class:`PipelineTracer` wraps a :class:`~repro.pipeline.core.PipelinedPE`,
+samples its state after every cycle, and renders classic pipeline
+diagrams::
+
+    cycle  T           D           X1          X2          event
+       12  ins3        ins0        ins1        -           issued
+       13  -           ins3        ins0        ins1        predicate hazard
+
+Sampling is non-invasive (read-only inspection of the pipe), so tracing
+never perturbs timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pipeline.core import PipelinedPE
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """State snapshot at the end of one cycle."""
+
+    cycle: int
+    stages: tuple[str, ...]        # instruction label per stage ('-' if empty)
+    predicates: int
+    event: str                     # classification of the trigger cycle
+    speculating: bool
+    retired_total: int
+
+    def occupancy(self) -> int:
+        return sum(1 for label in self.stages if label != "-")
+
+
+_EVENT_FIELDS = (
+    ("issued", "issued"),
+    ("pred_hazard_cycles", "predicate hazard"),
+    ("data_hazard_cycles", "data hazard"),
+    ("forbidden_cycles", "forbidden"),
+    ("none_triggered_cycles", "no trigger"),
+)
+
+
+class PipelineTracer:
+    """Records and renders a PE's pipeline activity."""
+
+    def __init__(self, pe: PipelinedPE, limit: int = 100_000) -> None:
+        self.pe = pe
+        self.limit = limit
+        self.records: list[TraceRecord] = []
+        self._last_counts = {name: 0 for name, __ in _EVENT_FIELDS}
+
+    def step(self) -> bool:
+        """Advance the PE one cycle and record the outcome."""
+        progressed = self.pe.step()
+        self._record()
+        return progressed
+
+    def run(self, max_cycles: int = 100_000) -> None:
+        """Trace until halt (committing queues, single-PE style)."""
+        for _ in range(max_cycles):
+            if self.pe.halted:
+                return
+            self.step()
+            self.pe.commit_queues()
+        raise AssertionError(f"{self.pe.name} did not halt while tracing")
+
+    def _classify(self) -> str:
+        counters = self.pe.counters
+        for name, label in _EVENT_FIELDS:
+            value = getattr(counters, name)
+            if value > self._last_counts[name]:
+                self._last_counts[name] = value
+                return label
+        return "halted" if self.pe.halted else "-"
+
+    def _record(self) -> None:
+        if len(self.records) >= self.limit:
+            return
+        stages = tuple(
+            "-" if entry is None else (entry.ins.label.split("@")[0] or "?")
+            for entry in self.pe._pipe
+        )
+        self.records.append(
+            TraceRecord(
+                cycle=self.pe.counters.cycles,
+                stages=stages,
+                predicates=self.pe.preds.state,
+                event=self._classify(),
+                speculating=bool(self.pe._specs),
+                retired_total=self.pe.counters.retired,
+            )
+        )
+
+    # ------------------------------------------------------------------
+
+    def stage_names(self) -> list[str]:
+        return ["".join(stage) for stage in self.pe.config.stages]
+
+    def render(self, first: int = 0, count: int | None = None) -> str:
+        """A pipeline diagram over a window of recorded cycles."""
+        names = self.stage_names()
+        width = max(8, max(len(n) for n in names) + 2)
+        header = f"{'cycle':>6}  " + "".join(f"{n:<{width}}" for n in names)
+        header += f"{'preds':>10}  event"
+        lines = [header]
+        window = self.records[first:first + count if count else None]
+        for record in window:
+            row = f"{record.cycle:>6}  "
+            row += "".join(f"{label:<{width}}" for label in record.stages)
+            row += f"{record.predicates:>10b}  {record.event}"
+            if record.speculating:
+                row += " (spec)"
+            lines.append(row)
+        return "\n".join(lines)
+
+    def utilization(self) -> float:
+        """Mean fraction of pipeline slots occupied across the trace."""
+        if not self.records:
+            return 0.0
+        depth = len(self.pe.config.stages)
+        filled = sum(record.occupancy() for record in self.records)
+        return filled / (depth * len(self.records))
+
+    def event_histogram(self) -> dict[str, int]:
+        histogram: dict[str, int] = {}
+        for record in self.records:
+            histogram[record.event] = histogram.get(record.event, 0) + 1
+        return histogram

@@ -1,0 +1,25 @@
+"""Host toolchain pieces around the parameter file (paper Figure 1).
+
+The paper's flow centers on one ``params.yaml`` consumed by the
+assembler, the functional simulator, the userspace library, and the RTL
+parameter generator.  This package provides that file format (a strict
+``key: value`` subset needing no YAML dependency) and the generators
+that render it for downstream consumers.
+"""
+
+from repro.toolchain.params_file import (
+    load_params,
+    loads_params,
+    dump_params,
+    save_params,
+)
+from repro.toolchain.paramgen import generate_sv_header, generate_c_header
+
+__all__ = [
+    "load_params",
+    "loads_params",
+    "dump_params",
+    "save_params",
+    "generate_sv_header",
+    "generate_c_header",
+]

@@ -1,0 +1,64 @@
+"""ParamGen command-line driver.
+
+Usage::
+
+    python -m repro.toolchain [--params params.txt] [--sv out.sv]
+                              [--c out.h] [--emit-defaults params.txt]
+
+With no output options it prints the SystemVerilog header to stdout —
+the paper's ParamGen step of Figure 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.params import DEFAULT_PARAMS
+from repro.toolchain.paramgen import generate_c_header, generate_sv_header
+from repro.toolchain.params_file import dump_params, load_params
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.toolchain",
+        description="Generate parameter headers from the params file.",
+    )
+    parser.add_argument("--params", help="parameter file (defaults to Table 1)")
+    parser.add_argument("--sv", help="write a SystemVerilog package here")
+    parser.add_argument("--c", help="write a C header here")
+    parser.add_argument(
+        "--emit-defaults", metavar="PATH",
+        help="write the default (Table 1) parameter file and exit",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if args.emit_defaults:
+            with open(args.emit_defaults, "w", encoding="utf-8") as handle:
+                handle.write(dump_params(DEFAULT_PARAMS))
+            print(f"wrote defaults to {args.emit_defaults}")
+            return 0
+        params = load_params(args.params) if args.params else DEFAULT_PARAMS
+        wrote_any = False
+        if args.sv:
+            with open(args.sv, "w", encoding="utf-8") as handle:
+                handle.write(generate_sv_header(params))
+            print(f"wrote {args.sv}")
+            wrote_any = True
+        if args.c:
+            with open(args.c, "w", encoding="utf-8") as handle:
+                handle.write(generate_c_header(params))
+            print(f"wrote {args.c}")
+            wrote_any = True
+        if not wrote_any:
+            print(generate_sv_header(params))
+        return 0
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

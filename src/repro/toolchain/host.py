@@ -1,0 +1,129 @@
+"""Host controller: the Linux driver + userspace library's role.
+
+The paper's software stack talks to the array through a memory-mapped
+interface: it programs instruction memories from assembled binaries,
+preloads scratchpads and data buffers, flips control registers, and
+reads back per-PE debug monitors and performance counters (Section 2.3).
+
+:class:`HostController` reproduces that surface over a simulated
+:class:`~repro.fabric.system.System`.  PEs are programmed from *encoded
+binaries* (``bytes``), not Python objects, so a flow driven entirely by
+``program.bin`` artifacts — assembler output, files on disk — works
+exactly as it would against the FPGA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.fabric.system import System
+from repro.isa.encoding import decode_program
+from repro.params import ArchParams, DEFAULT_PARAMS
+
+
+@dataclass(frozen=True)
+class PEStatus:
+    """One PE's control/status view (the debug monitor registers)."""
+
+    name: str
+    halted: bool
+    predicates: int
+    retired: int
+    cycles: int
+
+
+class HostController:
+    """Drives a system the way the paper's userspace library drives hardware."""
+
+    def __init__(self, system: System, params: ArchParams = DEFAULT_PARAMS) -> None:
+        self.system = system
+        self.params = params
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Configuration phase
+    # ------------------------------------------------------------------
+
+    def _require_not_started(self) -> None:
+        if self._started:
+            raise ConfigError("the array is already running; reset first")
+
+    def program_pe(self, name: str, binary: bytes,
+                   initial_predicates: int = 0) -> None:
+        """Write an assembled binary into one PE's instruction memory."""
+        self._require_not_started()
+        pe = self.system.pe(name)
+        instructions = decode_program(binary, self.params)
+        pe.load_program(instructions)
+        pe.preds.reset(initial_predicates)
+        pe._initial_predicates = initial_predicates
+
+    def preload_scratchpad(self, name: str, values: list[int], base: int = 0) -> None:
+        self._require_not_started()
+        pe = self.system.pe(name)
+        if pe.scratchpad is None:
+            raise ConfigError(f"PE {name!r} has no scratchpad")
+        pe.scratchpad.preload(values, base)
+
+    def write_buffer(self, values: list[int], base: int) -> None:
+        """Set up an input data buffer in system memory."""
+        self._require_not_started()
+        self.system.memory.preload(values, base)
+
+    # ------------------------------------------------------------------
+    # Execution phase
+    # ------------------------------------------------------------------
+
+    def start_and_wait(self, max_cycles: int = 2_000_000) -> int:
+        """Release the array and block until it halts; returns cycles."""
+        self._started = True
+        return self.system.run(max_cycles=max_cycles)
+
+    def read_buffer(self, base: int, count: int) -> list[int]:
+        """Read back an output data buffer."""
+        return self.system.memory.dump(base, count)
+
+    # ------------------------------------------------------------------
+    # Monitor / counter reads
+    # ------------------------------------------------------------------
+
+    def status(self, name: str) -> PEStatus:
+        pe = self.system.pe(name)
+        return PEStatus(
+            name=name,
+            halted=pe.halted,
+            predicates=pe.preds.state,
+            retired=pe.counters.retired,
+            cycles=pe.counters.cycles,
+        )
+
+    def read_counters(self, name: str) -> dict[str, int]:
+        """The PE's performance-counter register block, as a flat dict.
+
+        Functional PEs expose the architectural counters; pipelined PEs
+        additionally expose the Figure 5 hazard taxonomy.
+        """
+        counters = self.system.pe(name).counters
+        block = {
+            "cycles": counters.cycles,
+            "retired": counters.retired,
+            "predicate_writes": counters.predicate_writes,
+            "enqueues": counters.enqueues,
+            "dequeues": counters.dequeues,
+        }
+        for field in (
+            "issued", "quashed", "pred_hazard_cycles", "data_hazard_cycles",
+            "forbidden_cycles", "none_triggered_cycles", "predictions",
+            "mispredictions",
+        ):
+            if hasattr(counters, field):
+                block[field] = getattr(counters, field)
+        return block
+
+    def reset(self) -> None:
+        """Return every PE to its post-configuration state."""
+        for pe in self.system.pes:
+            pe.reset()
+        self.system.cycles = 0
+        self._started = False

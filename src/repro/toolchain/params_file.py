@@ -1,0 +1,66 @@
+"""The parameter file: one source of truth for the whole flow.
+
+A strict subset of YAML — ``key: value`` pairs, ``#`` comments, blank
+lines — so no external dependency is needed.  Keys are the
+:class:`~repro.params.ArchParams` field names; unknown keys and
+malformed lines are hard errors (a typo must never silently configure a
+different machine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from repro.errors import ParameterError
+from repro.params import ArchParams
+
+_HEADER = """\
+# Triggered-PE architecture parameters (paper Table 1).
+# Consumed by the assembler, simulators, and parameter generators.
+"""
+
+
+def loads_params(text: str) -> ArchParams:
+    """Parse parameter-file text into :class:`ArchParams`."""
+    raw: dict[str, int] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.split("#", 1)[0].strip()
+        if not stripped:
+            continue
+        if ":" not in stripped:
+            raise ParameterError(
+                f"params file line {number}: expected 'key: value', got {line!r}"
+            )
+        key, __, value = stripped.partition(":")
+        key = key.strip()
+        value = value.strip()
+        if key in raw:
+            raise ParameterError(f"params file line {number}: duplicate key {key!r}")
+        try:
+            raw[key] = int(value, 0)
+        except ValueError:
+            raise ParameterError(
+                f"params file line {number}: value for {key!r} must be an "
+                f"integer, got {value!r}"
+            ) from None
+    return ArchParams.from_dict(raw)
+
+
+def load_params(path: str) -> ArchParams:
+    """Read a parameter file from disk."""
+    with open(path, encoding="utf-8") as handle:
+        return loads_params(handle.read())
+
+
+def dump_params(params: ArchParams) -> str:
+    """Render parameters as file text (round-trips through loads_params)."""
+    lines = [_HEADER]
+    for field in fields(ArchParams):
+        lines.append(f"{field.name}: {getattr(params, field.name)}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def save_params(params: ArchParams, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dump_params(params))

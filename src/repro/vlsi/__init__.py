@@ -1,0 +1,23 @@
+"""Analytical VLSI power/timing/area model of the 65 nm flow (Section 3).
+
+Replaces the paper's Synopsys Design Compiler + PrimeTime methodology
+with a calibrated analytical model: alpha-power-law gate delay with a
+near-threshold exponential blend, per-VT leakage, component capacitance
+and area budgets tied to every absolute number the paper publishes.
+"""
+
+from repro.vlsi.technology import Technology, VtFlavor, TECH65
+from repro.vlsi.components import ComponentBudget, COMPONENTS
+from repro.vlsi.synthesis import SynthesisResult, synthesize, fmax, critical_path_fo4
+
+__all__ = [
+    "Technology",
+    "VtFlavor",
+    "TECH65",
+    "ComponentBudget",
+    "COMPONENTS",
+    "SynthesisResult",
+    "synthesize",
+    "fmax",
+    "critical_path_fo4",
+]

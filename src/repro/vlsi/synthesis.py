@@ -1,0 +1,188 @@
+"""Synthesis model: (microarchitecture, VT, VDD, f_target) -> area/power/timing.
+
+This stands in for the paper's Design Compiler runs.  Stage delays are
+budgeted in FO4 (Section 5.4 reports the trigger stage at 53.6 FO4 —
+64.3 with speculation — and observes balanced stages in the 50-60 FO4
+range); the critical path of a partition is the largest per-stage sum.
+f_max follows from the technology's FO4(VDD, VT).
+
+Cell sizing tracks the target frequency: designs synthesized at relaxed
+targets use small cells (~0.72x switched capacitance), the 500 MHz
+anchor point sizes at 1.0x, and pushing toward timing closure inflates
+the design quadratically ("the push for timing will inflate the
+resulting design") up to a cap.
+
+Power = C_eff * VDD^2 * f * sizing + leakage(VT, VDD), with C_eff built
+from the single-cycle anchor (1.95 mW at 1.0 V / 500 MHz), 0.602 pF per
+pipeline register (the paper's +0.301 mW at 500 MHz / 1.0 V), and the
+published adders for +P / +Q / output-queue padding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SynthesisError
+from repro.pipeline.config import PipelineConfig, QueuePolicy
+from repro.vlsi import components as comp
+from repro.vlsi.technology import TECH65, Technology, VtFlavor
+
+# FO4 budgets per conceptual phase.  T is measured (Section 5.4); the
+# rest are set so stage balance lands in the paper's 50-60 FO4 window
+# and the deepest pipeline's critical path is the trigger stage.
+PHASE_FO4 = {"T": 53.6, "D": 16.0, "X": 40.0, "X1": 22.0, "X2": 22.0}
+PREDICTION_TRIGGER_EXTRA_FO4 = (
+    comp.TRIGGER_FO4_WITH_PREDICTION - comp.TRIGGER_FO4
+)  # 10.7 FO4 of speculative predicate unit in the trigger stage
+
+# Effective switched capacitance (farads), calibrated per module docstring.
+_LEAK_SVT_1V = 0.08e-3
+C_CORE = (comp.TDX_POWER_W - _LEAK_SVT_1V) / (
+    comp.ANCHOR_VDD ** 2 * comp.ANCHOR_FREQ_HZ
+)  # ~3.74 pF for the single-cycle core
+C_PIPE_REGISTER = comp.PIPE_REGISTER_POWER_W / (
+    comp.ANCHOR_VDD ** 2 * comp.ANCHOR_FREQ_HZ
+)  # ~0.602 pF per pipeline register
+_C_FEATURE = {
+    key: power / (comp.ANCHOR_VDD ** 2 * comp.ANCHOR_FREQ_HZ)
+    for key, power in comp.FEATURE_POWER_W.items()
+}
+C_PADDING_AT_DEPTH4 = comp.PADDED_POWER_W_AT_DEPTH4 / (
+    comp.ANCHOR_VDD ** 2 * comp.ANCHOR_FREQ_HZ
+)
+
+# Sizing-vs-target-frequency model (dimensionless multiplier on C_eff).
+_SIZE_FLOOR = 0.72
+_SIZE_ANCHOR_HZ = 500e6
+_SIZE_GROWTH = 1.66
+_SIZE_GROWTH_SPAN_HZ = 657e6
+_SIZE_CAP = 2.2
+_AREA_GROWTH_CAP = 1.45   # Pareto designs show little area variance (Fig. 8)
+
+# Area sizing pressure: relaxed designs sit at the pipelined anchor; the
+# under-pipelined single-cycle PE at a 500 MHz target sizes up ~0.7%.
+_AREA_PRESSURE = 0.016
+
+
+def sizing_factor(f_target: float) -> float:
+    """Switched-capacitance multiplier for a synthesis target frequency."""
+    if f_target <= _SIZE_ANCHOR_HZ:
+        return _SIZE_FLOOR + (1.0 - _SIZE_FLOOR) * (f_target / _SIZE_ANCHOR_HZ)
+    grown = 1.0 + _SIZE_GROWTH * ((f_target - _SIZE_ANCHOR_HZ) / _SIZE_GROWTH_SPAN_HZ) ** 2
+    return min(grown, _SIZE_CAP)
+
+
+def stage_fo4(config: PipelineConfig) -> list[float]:
+    """Per-stage delay budgets in FO4 for one partition."""
+    budgets = []
+    for stage in config.stages:
+        total = sum(PHASE_FO4[phase] for phase in stage)
+        if "T" in stage and config.predicate_prediction:
+            total += PREDICTION_TRIGGER_EXTRA_FO4
+        budgets.append(total)
+    return budgets
+
+
+def critical_path_fo4(config: PipelineConfig) -> float:
+    """The longest stage, in FO4 — what sets the clock."""
+    return max(stage_fo4(config))
+
+
+def fmax(
+    config: PipelineConfig,
+    vdd: float,
+    vt: VtFlavor,
+    tech: Technology = TECH65,
+) -> float:
+    """Maximum clock frequency in Hz at a supply/flavor point."""
+    return 1.0 / (critical_path_fo4(config) * tech.fo4_delay(vdd, vt))
+
+
+def effective_capacitance(config: PipelineConfig) -> float:
+    """Design C_eff in farads, before sizing."""
+    c = C_CORE + (config.depth - 1) * C_PIPE_REGISTER
+    c += _C_FEATURE[(config.predicate_prediction, config.effective_queue_status)]
+    if config.queue_policy is QueuePolicy.PADDED:
+        c += C_PADDING_AT_DEPTH4 * (config.depth / 4.0)
+    return c
+
+
+def base_area_um2(config: PipelineConfig) -> float:
+    """Design area in um^2, before sizing pressure."""
+    if config.depth == 1:
+        area = comp.TDX_AREA_UM2 - 444.0   # relaxed-sizing single-cycle core
+    else:
+        area = comp.PIPE4_AREA_UM2          # pipeline registers are in the noise
+    area += comp.FEATURE_AREA_UM2[
+        (config.predicate_prediction, config.effective_queue_status)
+    ]
+    if config.queue_policy is QueuePolicy.PADDED:
+        area += comp.PADDED_AREA_UM2_AT_DEPTH4 * (config.depth / 4.0)
+    return area
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """One closed design point."""
+
+    config_name: str
+    vt: VtFlavor
+    vdd: float
+    f_target_hz: float
+    fmax_hz: float
+    area_um2: float
+    power_w: float
+    dynamic_power_w: float
+    leakage_power_w: float
+    critical_fo4: float
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area_um2 * 1e-6
+
+    @property
+    def power_density_mw_per_mm2(self) -> float:
+        return (self.power_w * 1e3) / self.area_mm2
+
+
+def synthesize(
+    config: PipelineConfig,
+    vdd: float,
+    vt: VtFlavor,
+    f_target_hz: float,
+    tech: Technology = TECH65,
+) -> SynthesisResult:
+    """Close one design point, or raise :class:`SynthesisError`.
+
+    Mirrors the paper's per-point flow: each (voltage, frequency) pair is
+    its own synthesis run with cells sized for that exact target.
+    """
+    ceiling = fmax(config, vdd, vt, tech)
+    if f_target_hz > ceiling:
+        raise SynthesisError(
+            f"{config.name} cannot close {f_target_hz / 1e6:.0f} MHz at "
+            f"{vdd:.1f} V {vt.value.upper()} (f_max {ceiling / 1e6:.0f} MHz)"
+        )
+    if f_target_hz <= 0:
+        raise SynthesisError("target frequency must be positive")
+    size = sizing_factor(f_target_hz)
+    dynamic = effective_capacitance(config) * size * vdd ** 2 * f_target_hz
+    area_pressure = 1.0 + _AREA_PRESSURE * max(
+        0.0, (f_target_hz / ceiling - 0.6) / 0.4
+    ) ** 2
+    area = base_area_um2(config) * area_pressure * min(
+        _AREA_GROWTH_CAP, max(1.0, size / 1.4)
+    )
+    leakage = tech.leakage_power(vdd, vt, area / comp.PIPE4_AREA_UM2)
+    return SynthesisResult(
+        config_name=config.name,
+        vt=vt,
+        vdd=vdd,
+        f_target_hz=f_target_hz,
+        fmax_hz=ceiling,
+        area_um2=area,
+        power_w=dynamic + leakage,
+        dynamic_power_w=dynamic,
+        leakage_power_w=leakage,
+        critical_fo4=critical_path_fo4(config),
+    )

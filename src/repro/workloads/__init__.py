@@ -1,0 +1,6 @@
+"""The ten PE-centric microbenchmarks of paper Table 3."""
+
+from repro.workloads.base import Workload, WorkloadRun
+from repro.workloads.suite import WORKLOADS, get_workload, run_workload
+
+__all__ = ["Workload", "WorkloadRun", "WORKLOADS", "get_workload", "run_workload"]

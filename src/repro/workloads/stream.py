@@ -1,0 +1,50 @@
+"""``stream`` — Table 3: one PE (the worker) generates a stream of data
+to store (increasing integers from zero to a maximum value) while a
+second produces an identical stream used as store indices.  The goal is
+to determine the maximum throughput for a sequential loop within a PE
+program."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.fabric.system import System
+from repro.workloads.base import PEFactory, Workload
+from repro.workloads.common import counter_producer
+
+_OUT_BASE = 16
+
+
+class StreamWorkload(Workload):
+    name = "stream"
+    description = (
+        "A worker PE generates increasing integers as store data while a "
+        "second PE generates the matching store indices — peak sequential "
+        "loop throughput."
+    )
+    pe_count = 2
+    worker_name = "worker"
+    default_scale = 512
+
+    def build(self, make_pe: PEFactory, scale: int, seed: int) -> System:
+        n = max(2, scale)
+        system = System()
+        worker = make_pe(self.worker_name)   # data generator
+        indexer = make_pe("indexer")         # address generator
+        counter_producer(0, n, self.params, eos="none").configure(worker)
+        counter_producer(_OUT_BASE, n, self.params, eos="none").configure(indexer)
+        system.add_pe(worker)
+        system.add_pe(indexer)
+        system.add_write_port(indexer, 0, worker, 0)
+        # Poison the destination so the check can't pass vacuously.
+        system.memory.preload([0xDEAD] * n, base=_OUT_BASE)
+        return system
+
+    def check(self, system: System, scale: int, seed: int) -> None:
+        n = max(2, scale)
+        got = system.memory.dump(_OUT_BASE, n)
+        expected = list(range(n))
+        if got != expected:
+            bad = next(i for i in range(n) if got[i] != expected[i])
+            raise SimulationError(
+                f"stream: memory[{_OUT_BASE + bad}] = {got[bad]}, expected {bad}"
+            )

@@ -1,0 +1,171 @@
+"""Integer semantics of every operation, including property-based checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.scratchpad import Scratchpad
+from repro.errors import SimulationError
+from repro.isa.alu import alu_execute, to_signed, to_unsigned
+from repro.isa.opcodes import op_by_name
+from repro.params import DEFAULT_PARAMS as P
+
+words = st.integers(min_value=0, max_value=P.word_mask)
+
+
+def run(mnemonic, a=0, b=0, scratchpad=None):
+    return alu_execute(op_by_name(mnemonic), a, b, P, scratchpad)
+
+
+class TestBasics:
+    def test_nop_produces_nothing(self):
+        r = run("nop")
+        assert r.value == 0 and not r.halt and r.store is None
+
+    def test_halt_sets_flag(self):
+        assert run("halt").halt
+
+    def test_mov_copies_first_operand(self):
+        assert run("mov", 123, 999).value == 123
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (1, 2, 3), (P.word_mask, 1, 0), (0x7FFFFFFF, 1, 0x80000000),
+    ])
+    def test_add(self, a, b, expected):
+        assert run("add", a, b).value == expected
+
+    def test_sub_wraps(self):
+        assert run("sub", 0, 1).value == P.word_mask
+
+    def test_mul_low_word(self):
+        assert run("mul", 0x10000, 0x10000).value == 0
+
+    def test_mulhu_high_word(self):
+        assert run("mulhu", 0x10000, 0x10000).value == 1
+
+    def test_mulh_signed(self):
+        minus_one = P.word_mask
+        assert run("mulh", minus_one, minus_one).value == 0  # (-1)*(-1) >> 32
+
+    def test_logic(self):
+        assert run("and", 0b1100, 0b1010).value == 0b1000
+        assert run("or", 0b1100, 0b1010).value == 0b1110
+        assert run("xor", 0b1100, 0b1010).value == 0b0110
+        assert run("nor", 0, 0).value == P.word_mask
+        assert run("nand", P.word_mask, P.word_mask).value == 0
+        assert run("xnor", 5, 5).value == P.word_mask
+        assert run("not", 0).value == P.word_mask
+
+    def test_shifts(self):
+        assert run("shl", 1, 4).value == 16
+        assert run("shr", 0x80000000, 31).value == 1
+        assert run("asr", 0x80000000, 31).value == P.word_mask
+
+    def test_rotates(self):
+        assert run("rol", 0x80000001, 1).value == 0x00000003
+        assert run("ror", 0x80000001, 1).value == 0xC0000000
+
+    def test_bit_manipulation(self):
+        assert run("clz", 0).value == 32
+        assert run("clz", 1).value == 31
+        assert run("ctz", 0).value == 32
+        assert run("ctz", 0x80000000).value == 31
+        assert run("popc", 0xFF00FF00).value == 16
+        assert run("brev", 1).value == 0x80000000
+
+    def test_sign_extension(self):
+        assert run("sext8", 0x80).value == 0xFFFFFF80
+        assert run("sext8", 0x7F).value == 0x7F
+        assert run("sext16", 0x8000).value == 0xFFFF8000
+        assert run("sext16", 0x1234).value == 0x1234
+
+    def test_comparisons_signed_vs_unsigned(self):
+        minus_one = P.word_mask
+        assert run("slt", minus_one, 0).value == 1   # -1 < 0 signed
+        assert run("ult", minus_one, 0).value == 0   # 0xFFFFFFFF not < 0
+        assert run("sge", 0, minus_one).value == 1
+        assert run("uge", 0, minus_one).value == 0
+
+    def test_predicate_logic(self):
+        assert run("land", 3, 7).value == 1
+        assert run("land", 3, 0).value == 0
+        assert run("lor", 0, 0).value == 0
+        assert run("lor", 0, 9).value == 1
+
+    def test_scratchpad_ops(self):
+        pad = Scratchpad(P)
+        assert run("ssw", 5, 77, pad).store == (5, 77)
+        pad.store(5, 77)
+        assert run("lsw", 5, 0, pad).value == 77
+
+    def test_memory_ops_require_scratchpad(self):
+        with pytest.raises(SimulationError):
+            run("lsw", 0)
+        with pytest.raises(SimulationError):
+            run("ssw", 0, 0)
+
+
+class TestProperties:
+    @given(a=words, b=words)
+    def test_add_sub_inverse(self, a, b):
+        total = run("add", a, b).value
+        assert run("sub", total, b).value == a
+
+    @given(a=words, b=words)
+    def test_full_product_reconstruction_unsigned(self, a, b):
+        low = run("mul", a, b).value
+        high = run("mulhu", a, b).value
+        assert (high << 32) | low == a * b
+
+    @given(a=words, b=words)
+    def test_full_product_reconstruction_signed(self, a, b):
+        low = run("mul", a, b).value
+        high = run("mulh", a, b).value
+        signed = to_signed(a, P) * to_signed(b, P)
+        assert (high << 32) | low == signed & 0xFFFFFFFFFFFFFFFF
+
+    @given(a=words)
+    def test_double_negation(self, a):
+        assert run("not", run("not", a).value).value == a
+
+    @given(a=words)
+    def test_brev_involution(self, a):
+        assert run("brev", run("brev", a).value).value == a
+
+    @given(a=words, s=st.integers(min_value=0, max_value=31))
+    def test_rotate_round_trip(self, a, s):
+        assert run("ror", run("rol", a, s).value, s).value == a
+
+    @given(a=words)
+    def test_clz_ctz_popc_consistency(self, a):
+        clz = run("clz", a).value
+        ctz = run("ctz", a).value
+        popc = run("popc", a).value
+        assert popc == bin(a).count("1")
+        if a == 0:
+            assert clz == ctz == 32
+        else:
+            assert clz + a.bit_length() == 32
+            assert (a >> ctz) & 1 == 1
+
+    @given(a=words, b=words)
+    def test_comparison_trichotomy_unsigned(self, a, b):
+        lt = run("ult", a, b).value
+        eq = run("eq", a, b).value
+        gt = run("ugt", a, b).value
+        assert lt + eq + gt == 1
+
+    @given(a=words, b=words)
+    def test_comparison_duality(self, a, b):
+        assert run("ule", a, b).value == run("uge", b, a).value
+        assert run("slt", a, b).value == run("sgt", b, a).value
+        assert run("ne", a, b).value == 1 - run("eq", a, b).value
+
+    @given(a=words)
+    def test_signed_round_trip(self, a):
+        assert to_unsigned(to_signed(a, P), P) == a
+
+    @given(a=words, s=st.integers(min_value=0, max_value=31))
+    def test_shift_pair(self, a, s):
+        """shl then shr recovers the value with the high bits dropped."""
+        masked = a & (P.word_mask >> s)
+        assert run("shr", run("shl", a, s).value, s).value == masked

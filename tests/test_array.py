@@ -1,0 +1,108 @@
+"""Rectangular PE arrays with mesh wiring."""
+
+import pytest
+
+from repro.arch import FunctionalPE
+from repro.asm import assemble
+from repro.errors import ConfigError
+from repro.fabric import Direction, PEArray, System
+
+
+def make_array(rows, cols):
+    system = System(memory_words=256)
+    array = PEArray(system, rows, cols,
+                    make_pe=lambda name: FunctionalPE(name=name))
+    return system, array
+
+
+class TestTopology:
+    def test_pe_count_and_names(self):
+        system, array = make_array(2, 3)
+        assert len(system.pes) == 6
+        assert array.pe(1, 2).name == "pe_1_2"
+
+    def test_out_of_range_rejected(self):
+        __, array = make_array(2, 2)
+        with pytest.raises(ConfigError):
+            array.pe(2, 0)
+
+    def test_degenerate_dimensions_rejected(self):
+        with pytest.raises(ConfigError):
+            make_array(0, 3)
+
+    def test_neighbor_queues_are_shared_objects(self):
+        __, array = make_array(2, 2)
+        west = array.pe(0, 0)
+        east = array.pe(0, 1)
+        assert west.outputs[Direction.EAST] is east.inputs[Direction.WEST]
+        assert east.outputs[Direction.WEST] is west.inputs[Direction.EAST]
+        north = array.pe(0, 0)
+        south = array.pe(1, 0)
+        assert north.outputs[Direction.SOUTH] is south.inputs[Direction.NORTH]
+        assert south.outputs[Direction.NORTH] is north.inputs[Direction.SOUTH]
+
+    def test_direction_opposites(self):
+        assert Direction.NORTH.opposite is Direction.SOUTH
+        assert Direction.EAST.opposite is Direction.WEST
+
+    def test_edge_detection(self):
+        __, array = make_array(2, 2)
+        assert array.is_edge_direction(0, 0, Direction.NORTH)
+        assert array.is_edge_direction(0, 0, Direction.WEST)
+        assert not array.is_edge_direction(0, 0, Direction.EAST)
+        assert array.is_edge_direction(1, 1, Direction.SOUTH)
+
+    def test_interior_port_attachment_rejected(self):
+        __, array = make_array(2, 2)
+        with pytest.raises(ConfigError, match="faces a neighbor"):
+            array.attach_read_port(0, 0, Direction.EAST)
+
+    def test_iteration_covers_all_pes(self):
+        __, array = make_array(3, 3)
+        assert len(list(array)) == 9
+
+
+class TestExecution:
+    def test_token_ring_around_a_2x2_array(self):
+        """A token makes one clockwise lap: 00 -> 01 -> 11 -> 10 -> 00."""
+        system, array = make_array(2, 2)
+        hops = {
+            (0, 0): (Direction.WEST, Direction.EAST),    # host in, pass east
+            (0, 1): (Direction.WEST, Direction.SOUTH),
+            (1, 1): (Direction.NORTH, Direction.WEST),
+            (1, 0): (Direction.EAST, Direction.NORTH),
+        }
+        for (r, c), (source, sink) in hops.items():
+            assemble(f"""
+            when %p == XXXXXXX0 with %i{int(source)}.1:
+                add %o{int(sink)}.1, %i{int(source)}, $1;
+                deq %i{int(source)}; set %p = ZZZZZZZ1;
+            when %p == XXXXXXX1:
+                halt;
+            """).configure(array.pe(r, c))
+
+        # Inject the token at (0,0)'s west edge; (1,0) sends it north to
+        # (0,0)'s SOUTH input, but (0,0) has halted — so the lap ends with
+        # the incremented token parked on that channel.
+        array.pe(0, 0).inputs[Direction.WEST].enqueue(100, tag=1)
+        system.run()
+        parked = array.pe(0, 0).inputs[Direction.SOUTH].peek(0)
+        assert parked.value == 104   # one increment per hop
+
+    def test_edge_memory_ports(self):
+        """An edge PE loads through an attached read port."""
+        system, array = make_array(1, 2)
+        array.attach_read_port(0, 0, Direction.WEST)
+        assemble(f"""
+        when %p == XXXXXX00:
+            mov %o{int(Direction.WEST)}.0, $7; set %p = ZZZZZZ01;
+        when %p == XXXXXX01 with %i{int(Direction.WEST)}.0:
+            mov %r0, %i{int(Direction.WEST)};
+            deq %i{int(Direction.WEST)}; set %p = ZZZZZZ11;
+        when %p == XXXXXX11:
+            halt;
+        """).configure(array.pe(0, 0))
+        assemble("when %p == XXXXXXXX:\n    halt;").configure(array.pe(0, 1))
+        system.memory.preload([0] * 7 + [1234])
+        system.run()
+        assert array.pe(0, 0).regs.read(0) == 1234

@@ -1,0 +1,169 @@
+"""Assembler: the paper's syntax, error reporting, binary round trips."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.errors import AssemblerError
+from repro.isa.encoding import decode_program
+from repro.isa.instruction import DestinationType, OperandType
+from repro.params import DEFAULT_PARAMS as P
+
+PAPER_EXAMPLE = """
+when %p == XXXX0000 with %i0.0, %i3.0:
+    ult %p7, %i3, %i0; set %p = ZZZZ0001;
+"""
+
+
+class TestPaperExample:
+    """The exact snippet from Section 2.2 must assemble."""
+
+    def test_assembles(self):
+        program = assemble(PAPER_EXAMPLE)
+        assert len(program) == 1
+
+    def test_guard(self):
+        ins = assemble(PAPER_EXAMPLE).instructions[0]
+        assert ins.trigger.pred_on == 0
+        assert ins.trigger.pred_off == 0b00001111
+        assert [(c.queue, c.tag) for c in ins.trigger.tag_checks] == [(0, 0), (3, 0)]
+
+    def test_datapath(self):
+        ins = assemble(PAPER_EXAMPLE).instructions[0]
+        assert ins.dp.op.mnemonic == "ult"
+        assert ins.dp.dst.kind is DestinationType.PRED and ins.dp.dst.index == 7
+        assert [s.index for s in ins.dp.srcs] == [3, 0]
+        assert all(s.kind is OperandType.IN for s in ins.dp.srcs)
+
+    def test_pred_update(self):
+        ins = assemble(PAPER_EXAMPLE).instructions[0]
+        assert ins.dp.pred_update.set_mask == 0b1
+        assert ins.dp.pred_update.clear_mask == 0b1110
+
+
+class TestSyntax:
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+        # leading comment
+        when %p == XXXXXXXX:   // trailing comment
+            nop;               # another
+        """)
+        assert len(program) == 1
+
+    def test_immediates(self):
+        src = "when %p == XXXXXXXX:\n    add %r0, %r1, $-1;"
+        ins = assemble(src).instructions[0]
+        assert ins.dp.imm == P.word_mask
+        src = "when %p == XXXXXXXX:\n    add %r0, %r1, $0x10;"
+        assert assemble(src).instructions[0].dp.imm == 16
+
+    def test_output_destination_with_tag(self):
+        ins = assemble("when %p == XXXXXXXX:\n    mov %o2.3, %r0;").instructions[0]
+        assert ins.dp.dst.kind is DestinationType.OUT
+        assert ins.dp.dst.index == 2 and ins.dp.dst.out_tag == 3
+
+    def test_negated_tag_check(self):
+        ins = assemble(
+            "when %p == XXXXXXXX with %i1.!2:\n    mov %r0, %i1; deq %i1;"
+        ).instructions[0]
+        check = ins.trigger.tag_checks[0]
+        assert check.queue == 1 and check.tag == 2 and check.negate
+
+    def test_multi_dequeue(self):
+        ins = assemble(
+            "when %p == XXXXXXXX:\n    add %r0, %i0, %i1; deq %i0, %i1;"
+        ).instructions[0]
+        assert ins.dp.deq == (0, 1)
+
+    def test_start_directive(self):
+        program = assemble(".start %p = 00000101\nwhen %p == XXXXXXXX:\n    nop;")
+        assert program.initial_predicates == 0b101
+
+    def test_priority_is_source_order(self):
+        program = assemble("""
+        when %p == XXXXXXX1:
+            halt;
+        when %p == XXXXXXXX:
+            nop;
+        """)
+        assert program.instructions[0].dp.op.mnemonic == "halt"
+
+    def test_multiline_instruction_body(self):
+        program = assemble("""
+        when %p == XXXXXXXX
+            with %i0.0:
+            add %r0, %r0, %i0;
+            deq %i0;
+        """)
+        assert program.instructions[0].dp.deq == (0,)
+
+
+class TestErrors:
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("\n\nwhen %p == XXXXXXXX:\n    bogus %r0, %r1;")
+
+    def test_unknown_operation(self):
+        with pytest.raises(AssemblerError, match="unknown operation"):
+            assemble("when %p == XXXXXXXX:\n    div %r0, %r1, %r2;")
+
+    def test_malformed_guard(self):
+        with pytest.raises(AssemblerError, match="guard"):
+            assemble("when %p = XXXXXXXX:\n    nop;")
+
+    def test_statement_before_when(self):
+        with pytest.raises(AssemblerError, match="before any 'when'"):
+            assemble("nop;")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects 3"):
+            assemble("when %p == XXXXXXXX:\n    add %r0, %r1;")
+
+    def test_two_immediates_rejected(self):
+        with pytest.raises(AssemblerError, match="one immediate"):
+            assemble("when %p == XXXXXXXX:\n    add %r0, $1, $2;")
+
+    def test_two_datapath_ops_rejected(self):
+        with pytest.raises(AssemblerError, match="more than one datapath"):
+            assemble("when %p == XXXXXXXX:\n    nop; nop;")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(AssemblerError, match="no instructions"):
+            assemble("# nothing here")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblerError, match="unknown directive"):
+            assemble(".origin 0\nwhen %p == XXXXXXXX:\n    nop;")
+
+    def test_too_many_instructions(self):
+        source = "\n".join(
+            "when %p == XXXXXXXX:\n    nop;" for _ in range(P.num_instructions + 1)
+        )
+        with pytest.raises(AssemblerError, match="NIns"):
+            assemble(source)
+
+    def test_pattern_too_long(self):
+        with pytest.raises(AssemblerError, match="longer than NPreds"):
+            assemble("when %p == XXXXXXXXX:\n    nop;")
+
+    def test_set_conflicts_with_datapath_predicate(self):
+        with pytest.raises(AssemblerError, match="force-updated"):
+            assemble("when %p == XXXXXXXX:\n    eq %p0, %r0, %r1; set %p = ZZZZZZZ1;")
+
+
+class TestBinaryRoundTrip:
+    def test_source_to_binary_to_instructions(self):
+        source = """
+        .start %p = 00000001
+        when %p == XXXXXXX1 with %i0.0:
+            add %r1, %r1, %i0; deq %i0;
+        when %p == XXXXXXX1 with %i0.1:
+            mov %o0.1, %r1; deq %i0; set %p = ZZZZZZ10;
+        when %p == XXXXXX1X:
+            halt;
+        """
+        program = assemble(source)
+        blob = program.binary(P)
+        back = decode_program(blob, P)
+        for original, decoded in zip(program.instructions, back):
+            assert decoded.trigger == original.trigger
+            assert decoded.dp == original.dp

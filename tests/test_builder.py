@@ -1,0 +1,77 @@
+"""The state-machine program builder macro layer."""
+
+import pytest
+
+from repro.arch import FunctionalPE
+from repro.errors import AssemblerError
+from repro.workloads.builder import ProgramBuilder
+
+
+class TestBuilding:
+    def test_simple_counter_program_runs(self):
+        b = ProgramBuilder(start_state="cmp")
+        b.add(state="cmp", op="ult %p1, %r0, $3", next="act")
+        b.add(state="act", flags={1: True}, op="add %r0, %r0, $1", next="cmp")
+        b.add(state="act", flags={1: False}, op="halt")
+        pe = FunctionalPE(name="t")
+        b.program("counter").configure(pe)
+        pe.run()
+        assert pe.regs.read(0) == 3
+
+    def test_source_is_valid_assembly(self):
+        b = ProgramBuilder(start_state="a")
+        b.add(state="a", op="nop", next="b")
+        b.add(state="b", op="halt")
+        source = b.source()
+        assert ".start %p" in source
+        assert "when %p ==" in source
+        # Assembles without error.
+        b.program()
+
+    def test_stateless_instruction_matches_any_state(self):
+        b = ProgramBuilder(start_state="main")
+        b.add(checks=["%i0.0"], deq=["%i0"], op="mov %r1, %i0",
+              set_flags={0: True})
+        b.add(state="main", flags={0: True}, op="halt")
+        pe = FunctionalPE(name="t")
+        b.program().configure(pe)
+        pe.inputs[0].enqueue(9, 0)
+        pe.inputs[0].commit()
+        pe.run()
+        assert pe.regs.read(1) == 9
+
+    def test_start_state_encoded_in_directive(self):
+        b = ProgramBuilder(start_state="second")
+        b.add(state="first", op="halt")        # state code 0
+        b.add(state="second", op="halt")       # state code 1
+        program = b.program()
+        # state_bits[0] (predicate 7) is the LSB of the state encoding.
+        assert program.initial_predicates == 1 << 7
+
+    def test_priority_is_insertion_order(self):
+        b = ProgramBuilder()
+        b.add(op="halt")
+        b.add(op="nop")
+        program = b.program()
+        assert program.instructions[0].dp.op.mnemonic == "halt"
+
+
+class TestErrors:
+    def test_too_many_states(self):
+        b = ProgramBuilder(state_bits=(7,))
+        b.add(state="s0", op="nop", next="s1")
+        b.add(state="s1", op="nop", next="s2")
+        b.add(state="s2", op="halt")
+        with pytest.raises(AssemblerError, match="state bits"):
+            b.source()
+
+    def test_flag_colliding_with_state_bit(self):
+        b = ProgramBuilder(state_bits=(7, 6, 5, 4))
+        with pytest.raises(AssemblerError, match="collides"):
+            b.add(state="s", flags={7: True}, op="nop")
+
+    def test_transition_forcing_datapath_predicate(self):
+        b = ProgramBuilder()
+        with pytest.raises(AssemblerError, match="forces it"):
+            b.add(op="eq %p1, %r0, %r1", set_flags={1: True})
+            b.source()

@@ -1,0 +1,62 @@
+"""Disassembler round trips: source -> binary -> source -> binary."""
+
+from hypothesis import given
+
+from repro.asm import assemble
+from repro.asm.disassembler import (
+    disassemble,
+    disassemble_binary,
+    disassemble_instruction,
+)
+from repro.isa.encoding import encode_instruction
+from repro.isa.instruction import make_nop
+from repro.params import DEFAULT_PARAMS as P
+
+from tests.test_encoding import instructions
+
+
+SOURCE = """
+.start %p = 00000001
+when %p == XXXXXXX1 with %i0.0, %i1.!2:
+    add %r1, %r1, %i0; set %p = ZZZZZZ10; deq %i0, %i1;
+when %p == XXXXXX1X:
+    mov %o2.3, %r1; set %p = ZZZZZ1ZZ;
+when %p == XXXXX1XX:
+    halt;
+"""
+
+
+def test_program_round_trip_through_text():
+    program = assemble(SOURCE)
+    text = disassemble(program.instructions, P, program.initial_predicates)
+    again = assemble(text)
+    assert again.initial_predicates == program.initial_predicates
+    for a, b in zip(program.instructions, again.instructions):
+        assert a.trigger == b.trigger
+        assert a.dp == b.dp
+
+
+def test_binary_round_trip_through_text():
+    program = assemble(SOURCE)
+    text = disassemble_binary(program.binary(P), P)
+    again = assemble(text)
+    assert again.binary(P) == program.binary(P)
+
+
+def test_empty_slot_renders_as_comment():
+    assert disassemble_instruction(make_nop(), P).startswith("#")
+
+
+def test_immediates_survive():
+    program = assemble("when %p == XXXXXXXX:\n    add %r0, %r1, $-7;")
+    text = disassemble(program.instructions, P)
+    again = assemble(text)
+    assert again.instructions[0].dp.imm == program.instructions[0].dp.imm
+
+
+@given(instructions())
+def test_any_valid_instruction_round_trips(ins):
+    """Disassembly of any encodable instruction re-assembles identically."""
+    text = disassemble_instruction(ins, P)
+    again = assemble(text).instructions[0]
+    assert encode_instruction(again, P) == encode_instruction(ins, P)

@@ -1,0 +1,137 @@
+"""Design-space exploration: grids, sweep feasibility, Pareto extraction."""
+
+import pytest
+
+from repro.dse.cpi import CpiTable
+from repro.dse.design_point import DesignPoint
+from repro.dse.pareto import frontier_span, pareto_frontier
+from repro.dse.sweep import frequency_grid, sweep, voltage_grid
+from repro.pipeline.config import config_by_name
+from repro.vlsi.synthesis import synthesize
+from repro.vlsi.technology import VtFlavor
+
+
+class TestGrids:
+    def test_svt_voltages(self):
+        assert voltage_grid(VtFlavor.SVT) == [0.6, 0.7, 0.8, 0.9, 1.0]
+
+    def test_lvt_hvt_voltages(self):
+        for vt in (VtFlavor.LVT, VtFlavor.HVT):
+            assert voltage_grid(vt) == [0.4, 0.6, 0.8, 1.0]
+
+    def test_main_frequency_grid(self):
+        grid = frequency_grid(VtFlavor.SVT, 1.0)
+        assert grid[0] == 100e6 and grid[-1] == 1.5e9
+        assert len(grid) == 15
+
+    def test_near_threshold_refinement(self):
+        grid = frequency_grid(VtFlavor.SVT, 0.6)
+        assert 150e6 in grid and 250e6 in grid   # 50 MHz steps
+
+    def test_subthreshold_hvt_refinement(self):
+        grid = frequency_grid(VtFlavor.HVT, 0.4)
+        assert 10e6 in grid and 90e6 in grid     # 10 MHz steps
+        assert 10e6 not in frequency_grid(VtFlavor.LVT, 0.4)
+
+
+class TestDesignPoint:
+    def _point(self, cpi=2.0):
+        r = synthesize(config_by_name("T|D|X"), 1.0, VtFlavor.SVT, 500e6)
+        return DesignPoint(synthesis=r, cpi=cpi)
+
+    def test_delay_per_instruction(self):
+        point = self._point(cpi=2.0)
+        assert point.ns_per_instruction == pytest.approx(2.0 / 500e6 * 1e9)
+
+    def test_energy_per_instruction(self):
+        point = self._point(cpi=2.0)
+        expected = point.synthesis.power_w * 2.0 / 500e6 * 1e12
+        assert point.pj_per_instruction == pytest.approx(expected)
+
+    def test_ed_product(self):
+        point = self._point()
+        assert point.energy_delay_product == pytest.approx(
+            point.pj_per_instruction * point.ns_per_instruction)
+
+    def test_row_has_figure8_columns(self):
+        row = self._point().row()
+        for column in ("design", "vt", "vdd", "mhz", "ns_per_instruction",
+                       "pj_per_instruction", "mw", "mm2", "mw_per_mm2", "ed"):
+            assert column in row
+
+
+class TestPareto:
+    def _points(self, cpi_table):
+        configs = [config_by_name(n) for n in ("TDX", "T|DX +P+Q", "T|D|X1|X2")]
+        return sweep(configs=configs, cpi_table=cpi_table)
+
+    def test_frontier_points_are_nondominated(self, cpi_table):
+        points = self._points(cpi_table)
+        frontier = pareto_frontier(points)
+        for a in frontier:
+            for b in points:
+                dominates = (
+                    b.ns_per_instruction <= a.ns_per_instruction
+                    and b.pj_per_instruction <= a.pj_per_instruction
+                    and (b.ns_per_instruction < a.ns_per_instruction
+                         or b.pj_per_instruction < a.pj_per_instruction)
+                )
+                assert not dominates, f"{b.row()} dominates {a.row()}"
+
+    def test_frontier_sorted_fastest_first(self, cpi_table):
+        frontier = pareto_frontier(self._points(cpi_table))
+        delays = [p.ns_per_instruction for p in frontier]
+        assert delays == sorted(delays)
+        energies = [p.pj_per_instruction for p in frontier]
+        assert energies == sorted(energies, reverse=True)
+
+    def test_span_report(self, cpi_table):
+        span = frontier_span(pareto_frontier(self._points(cpi_table)))
+        assert span["energy_span"] > 1
+        assert span["delay_span"] > 1
+        assert span["min_ns"] < span["max_ns"]
+
+    def test_empty_frontier(self):
+        assert pareto_frontier([]) == []
+        assert frontier_span([]) == {}
+
+
+class TestSweep:
+    def test_every_point_is_feasible(self, cpi_table):
+        points = sweep(configs=[config_by_name("TD|X +Q")], cpi_table=cpi_table)
+        for point in points:
+            assert point.frequency_hz <= point.synthesis.fmax_hz * (1 + 1e-9)
+
+    def test_fmax_points_included(self, cpi_table):
+        config = config_by_name("TD|X +Q")
+        points = sweep(configs=[config], cpi_table=cpi_table)
+        fmax_values = {round(p.synthesis.fmax_hz) for p in points}
+        frequencies = {round(p.frequency_hz) for p in points}
+        assert fmax_values & frequencies
+
+    def test_cpi_constant_across_voltage(self, cpi_table):
+        points = sweep(configs=[config_by_name("TDX")], cpi_table=cpi_table)
+        assert len({p.cpi for p in points}) == 1
+
+
+class TestCpiTable:
+    def test_caches_across_instances(self, tmp_path):
+        cache = tmp_path / "cpi.json"
+        table = CpiTable(scale=8, cache_path=str(cache))
+        config = config_by_name("TDX")
+        first = table.cpi(config)
+        # A new table with the same cache must not re-simulate (and must agree).
+        again = CpiTable(scale=8, cache_path=str(cache))
+        assert config.name in again._cpi
+        assert again.cpi(config) == first
+
+    def test_cache_invalidated_by_scale_change(self, tmp_path):
+        cache = tmp_path / "cpi.json"
+        CpiTable(scale=8, cache_path=str(cache)).cpi(config_by_name("TDX"))
+        other = CpiTable(scale=10, cache_path=str(cache))
+        assert not other._cpi
+
+    def test_stack_components_sum_to_cpi(self, cpi_table):
+        config = config_by_name("T|D|X +P")
+        stack = cpi_table.stack(config)
+        assert sum(stack.values()) == pytest.approx(cpi_table.cpi(config), rel=1e-9)

@@ -1,0 +1,161 @@
+"""Binary encoding round trips, including a hypothesis-generated fuzz."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError
+from repro.isa.encoding import (
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+from repro.isa.instruction import (
+    DatapathOp,
+    Destination,
+    DestinationType,
+    Instruction,
+    Operand,
+    OperandType,
+    PredUpdate,
+    TagCheck,
+    Trigger,
+)
+from repro.isa.opcodes import OPS, op_by_name
+from repro.params import ArchParams, DEFAULT_PARAMS as P
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategy: arbitrary *valid* instructions.
+# ----------------------------------------------------------------------
+
+def _operand(draw, op):
+    kind = draw(st.sampled_from([OperandType.REG, OperandType.IN, OperandType.IMM]))
+    if kind is OperandType.REG:
+        return Operand.reg(draw(st.integers(0, P.num_regs - 1)))
+    if kind is OperandType.IN:
+        return Operand.input_queue(draw(st.integers(0, P.num_input_queues - 1)))
+    return Operand.imm()
+
+
+@st.composite
+def instructions(draw):
+    op = draw(st.sampled_from([o for o in OPS if o.mnemonic != "nop"]))
+    srcs = []
+    imm_used = False
+    for _ in range(op.num_srcs):
+        operand = _operand(draw, op)
+        if operand.kind is OperandType.IMM:
+            if imm_used:
+                operand = Operand.reg(0)
+            imm_used = True
+        srcs.append(operand)
+
+    if not op.has_dst:
+        dst = Destination.none()
+    else:
+        kind = draw(st.sampled_from(
+            [DestinationType.REG, DestinationType.OUT, DestinationType.PRED]))
+        if kind is DestinationType.REG:
+            dst = Destination.reg(draw(st.integers(0, P.num_regs - 1)))
+        elif kind is DestinationType.OUT:
+            dst = Destination.output_queue(
+                draw(st.integers(0, P.num_output_queues - 1)),
+                draw(st.integers(0, P.num_tags - 1)),
+            )
+        else:
+            dst = Destination.predicate(draw(st.integers(0, P.num_preds - 1)))
+
+    check_queues = draw(st.lists(
+        st.integers(0, P.num_input_queues - 1), max_size=P.max_check, unique=True))
+    checks = tuple(
+        TagCheck(queue=q, tag=draw(st.integers(0, P.num_tags - 1)),
+                 negate=draw(st.booleans()))
+        for q in check_queues
+    )
+    on = draw(st.integers(0, (1 << P.num_preds) - 1))
+    off = draw(st.integers(0, (1 << P.num_preds) - 1)) & ~on
+
+    deq = tuple(draw(st.lists(
+        st.integers(0, P.num_input_queues - 1), max_size=P.max_deq, unique=True)))
+
+    taken = (1 << dst.index) if dst.kind is DestinationType.PRED else 0
+    set_mask = draw(st.integers(0, (1 << P.num_preds) - 1)) & ~taken
+    clear_mask = draw(st.integers(0, (1 << P.num_preds) - 1)) & ~set_mask & ~taken
+
+    return Instruction(
+        trigger=Trigger(pred_on=on, pred_off=off, tag_checks=checks),
+        dp=DatapathOp(
+            op=op,
+            srcs=tuple(srcs),
+            dst=dst,
+            imm=draw(st.integers(0, P.word_mask)) if imm_used else 0,
+            deq=deq,
+            pred_update=PredUpdate(set_mask=set_mask, clear_mask=clear_mask),
+        ),
+    )
+
+
+class TestRoundTrip:
+    @given(instructions())
+    def test_encode_decode_round_trip(self, ins):
+        word = encode_instruction(ins, P)
+        back = decode_instruction(word, P)
+        assert back.trigger == ins.trigger
+        assert back.dp == ins.dp
+        assert back.valid == ins.valid
+
+    @given(instructions())
+    def test_encoded_width_fits(self, ins):
+        word = encode_instruction(ins, P)
+        assert 0 <= word < (1 << P.instruction_width)
+
+    def test_all_zero_word_is_invalid_slot(self):
+        ins = decode_instruction(0, P)
+        assert not ins.valid
+
+
+class TestPrograms:
+    def test_program_round_trip(self):
+        ins = Instruction(
+            trigger=Trigger(pred_off=0b1),
+            dp=DatapathOp(op=op_by_name("add"),
+                          srcs=(Operand.reg(0), Operand.imm()),
+                          dst=Destination.reg(0), imm=7),
+        )
+        blob = encode_program([ins, ins], P)
+        assert len(blob) == 2 * P.padded_instruction_width // 8
+        back = decode_program(blob, P)
+        assert len(back) == 2
+        assert back[0].dp == ins.dp
+
+    def test_program_too_long_rejected(self):
+        ins = decode_instruction(0, P)
+        with pytest.raises(EncodingError, match="PE holds"):
+            encode_program([ins] * (P.num_instructions + 1), P)
+
+    def test_misaligned_blob_rejected(self):
+        with pytest.raises(EncodingError, match="multiple"):
+            decode_program(b"\x00" * 17, P)
+
+    def test_padding_is_outside_the_stored_bits(self):
+        """The 128-bit host word holds 106 instruction bits; the rest is
+        padding the instruction memory never stores."""
+        assert P.padded_instruction_width - P.instruction_width == 22
+
+
+class TestParameterizedEncoding:
+    def test_wider_machine_round_trip(self):
+        wide = ArchParams(num_regs=16, num_input_queues=8, num_output_queues=8,
+                          max_check=3, max_deq=3, num_preds=16, tag_width=3)
+        ins = Instruction(
+            trigger=Trigger(pred_on=0x8001,
+                            tag_checks=(TagCheck(7, tag=5, negate=True),)),
+            dp=DatapathOp(op=op_by_name("xor"),
+                          srcs=(Operand.input_queue(7), Operand.reg(15)),
+                          dst=Destination.output_queue(7, tag=6),
+                          deq=(7, 2, 0)),
+        )
+        back = decode_instruction(encode_instruction(ins, wide), wide)
+        assert back.trigger == ins.trigger
+        assert back.dp == ins.dp

@@ -1,0 +1,148 @@
+"""Instruction structure and validation rules."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.isa.instruction import (
+    DatapathOp,
+    Destination,
+    Instruction,
+    Operand,
+    PredUpdate,
+    TagCheck,
+    Trigger,
+    make_nop,
+)
+from repro.isa.opcodes import op_by_name
+from repro.params import DEFAULT_PARAMS as P
+
+
+def make(op="add", srcs=(Operand.reg(0), Operand.reg(1)),
+         dst=Destination.reg(2), trigger=Trigger(), deq=(),
+         pred_update=PredUpdate(), imm=0):
+    return Instruction(
+        trigger=trigger,
+        dp=DatapathOp(op=op_by_name(op), srcs=tuple(srcs), dst=dst,
+                      deq=tuple(deq), pred_update=pred_update, imm=imm),
+    )
+
+
+class TestTrigger:
+    def test_predicates_match_on_and_off(self):
+        t = Trigger(pred_on=0b0001, pred_off=0b0010)
+        assert t.predicates_match(0b0001)
+        assert t.predicates_match(0b1101)
+        assert not t.predicates_match(0b0011)   # p1 must be off
+        assert not t.predicates_match(0b0000)   # p0 must be on
+
+    def test_watched_predicates(self):
+        t = Trigger(pred_on=0b0100, pred_off=0b0010)
+        assert t.watched_predicates == 0b0110
+
+    def test_tag_check_matching(self):
+        assert TagCheck(queue=0, tag=2).matches(2)
+        assert not TagCheck(queue=0, tag=2).matches(1)
+        assert TagCheck(queue=0, tag=2, negate=True).matches(1)
+        assert not TagCheck(queue=0, tag=2, negate=True).matches(2)
+
+
+class TestPredUpdate:
+    def test_apply_sets_and_clears(self):
+        u = PredUpdate(set_mask=0b0001, clear_mask=0b0100)
+        assert u.apply(0b0110) == 0b0011
+
+    def test_touched(self):
+        assert PredUpdate(set_mask=0b01, clear_mask=0b10).touched == 0b11
+
+
+class TestValidation:
+    def test_valid_instruction_passes(self):
+        make().validate(P)
+
+    def test_rejects_register_out_of_range(self):
+        with pytest.raises(EncodingError, match="out of range"):
+            make(srcs=(Operand.reg(8), Operand.reg(0))).validate(P)
+
+    def test_rejects_destination_for_no_result_op(self):
+        with pytest.raises(EncodingError, match="produces no result"):
+            make(op="halt", srcs=(), dst=Destination.reg(0)).validate(P)
+
+    def test_requires_destination_for_result_op(self):
+        with pytest.raises(EncodingError, match="needs a destination"):
+            make(op="add", dst=Destination.none()).validate(P)
+
+    def test_rejects_too_few_sources(self):
+        with pytest.raises(EncodingError, match="needs 2 sources"):
+            make(srcs=(Operand.reg(0),)).validate(P)
+
+    def test_rejects_too_many_tag_checks(self):
+        trigger = Trigger(tag_checks=(TagCheck(0, 0), TagCheck(1, 0), TagCheck(2, 0)))
+        with pytest.raises(EncodingError, match="MaxCheck"):
+            make(trigger=trigger).validate(P)
+
+    def test_rejects_duplicate_tag_check_queue(self):
+        trigger = Trigger(tag_checks=(TagCheck(1, 0), TagCheck(1, 1)))
+        with pytest.raises(EncodingError, match="checked twice"):
+            make(trigger=trigger).validate(P)
+
+    def test_rejects_conflicting_predicate_requirements(self):
+        with pytest.raises(EncodingError, match="both on and off"):
+            make(trigger=Trigger(pred_on=0b1, pred_off=0b1)).validate(P)
+
+    def test_rejects_conflicting_pred_update(self):
+        with pytest.raises(EncodingError, match="force-set and force-cleared"):
+            make(pred_update=PredUpdate(set_mask=0b1, clear_mask=0b1)).validate(P)
+
+    def test_rejects_too_many_dequeues(self):
+        with pytest.raises(EncodingError, match="MaxDeq"):
+            make(deq=(0, 1, 2)).validate(P)
+
+    def test_rejects_duplicate_dequeues(self):
+        with pytest.raises(EncodingError, match="duplicate dequeue"):
+            make(deq=(1, 1)).validate(P)
+
+    def test_rejects_pred_update_conflicting_with_pred_destination(self):
+        with pytest.raises(EncodingError, match="force-updated at issue"):
+            make(op="ult", dst=Destination.predicate(3),
+                 pred_update=PredUpdate(set_mask=0b1000)).validate(P)
+
+    def test_allows_pred_update_on_other_bits(self):
+        make(op="ult", dst=Destination.predicate(3),
+             pred_update=PredUpdate(set_mask=0b0001)).validate(P)
+
+    def test_rejects_two_immediates(self):
+        with pytest.raises(EncodingError, match="one immediate"):
+            make(srcs=(Operand.imm(), Operand.imm())).validate(P)
+
+    def test_rejects_oversized_tag(self):
+        trigger = Trigger(tag_checks=(TagCheck(0, tag=4),))
+        with pytest.raises(EncodingError, match="tag"):
+            make(trigger=trigger).validate(P)
+
+
+class TestDerivedProperties:
+    def test_required_input_queues_union(self):
+        ins = make(
+            op="add",
+            srcs=(Operand.input_queue(2), Operand.reg(0)),
+            trigger=Trigger(tag_checks=(TagCheck(0, 1),)),
+            deq=(3,),
+        )
+        assert ins.required_input_queues == frozenset({0, 2, 3})
+
+    def test_output_queue(self):
+        ins = make(dst=Destination.output_queue(1, tag=2))
+        assert ins.output_queue == 1
+        assert make().output_queue is None
+
+    def test_side_effects_are_dequeues_only(self):
+        assert make(deq=(0,)).dp.has_side_effects_before_retire
+        assert not make(dst=Destination.output_queue(0, 0)).dp.has_side_effects_before_retire
+
+    def test_writes_predicate(self):
+        assert make(op="eq", dst=Destination.predicate(0)).dp.writes_predicate
+        assert not make().dp.writes_predicate
+
+    def test_make_nop_is_invalid_slot(self):
+        empty = make_nop()
+        assert not empty.valid

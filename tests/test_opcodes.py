@@ -1,0 +1,69 @@
+"""The 42-operation ISA table."""
+
+import pytest
+
+from repro.isa.opcodes import OPS, Op, OpClass, op_by_code, op_by_name
+
+
+def test_exactly_42_operations():
+    assert len(OPS) == 42
+
+
+def test_opcodes_are_dense_and_ordered():
+    assert [op.opcode for op in OPS] == list(range(42))
+
+
+def test_mnemonics_unique():
+    assert len({op.mnemonic for op in OPS}) == 42
+
+
+def test_lookup_by_name():
+    assert op_by_name("add").op_class is OpClass.ARITH
+    assert op_by_name("clz").op_class is OpClass.BITMANIP
+
+
+def test_lookup_by_code_round_trip():
+    for op in OPS:
+        assert op_by_code(op.opcode) is op
+
+
+def test_unknown_name_raises_with_suggestions():
+    with pytest.raises(KeyError, match="valid operations"):
+        op_by_name("div")   # deliberately omitted from the ISA
+
+
+def test_unknown_code_raises():
+    with pytest.raises(KeyError):
+        op_by_code(42)
+
+
+def test_multiplies_are_late_result():
+    for name in ("mul", "mulh", "mulhu"):
+        assert op_by_name(name).late_result
+
+
+def test_scratchpad_load_is_late_result():
+    assert op_by_name("lsw").late_result
+
+
+def test_simple_alu_ops_are_early_result():
+    for name in ("add", "sub", "xor", "ult", "clz", "shl"):
+        assert not op_by_name(name).late_result
+
+
+def test_ops_without_destinations():
+    no_dst = {op.mnemonic for op in OPS if not op.has_dst}
+    assert no_dst == {"nop", "ssw", "halt"}
+
+
+def test_comparison_complement():
+    """The ISA carries the full signed/unsigned comparison complement."""
+    compares = {op.mnemonic for op in OPS if op.op_class is OpClass.COMPARE}
+    assert {"eq", "ne", "slt", "sle", "sgt", "sge",
+            "ult", "ule", "ugt", "uge", "eqz", "nez"} == compares
+
+
+def test_division_and_float_omitted():
+    mnemonics = {op.mnemonic for op in OPS}
+    for absent in ("div", "udiv", "rem", "fadd", "fmul"):
+        assert absent not in mnemonics

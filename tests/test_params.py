@@ -1,0 +1,114 @@
+"""Parameter derivation (paper Tables 1 and 2)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.params import ArchParams, DEFAULT_PARAMS
+
+
+class TestDefaults:
+    def test_table1_values(self):
+        p = DEFAULT_PARAMS
+        assert p.num_regs == 8
+        assert p.num_input_queues == 4
+        assert p.num_output_queues == 4
+        assert p.max_check == 2
+        assert p.max_deq == 2
+        assert p.num_preds == 8
+        assert p.word_width == 32
+        assert p.tag_width == 2
+        assert p.num_instructions == 16
+        assert p.num_ops == 42
+        assert p.num_srcs == 2
+        assert p.num_dsts == 1
+
+    def test_instruction_is_106_bits(self):
+        assert DEFAULT_PARAMS.instruction_width == 106
+
+    def test_padded_to_128_bits(self):
+        assert DEFAULT_PARAMS.padded_instruction_width == 128
+
+    def test_table2_field_widths(self):
+        widths = DEFAULT_PARAMS.field_widths()
+        assert widths == {
+            "Val": 1,
+            "PredMask": 16,
+            "QueueIndices": 6,
+            "NotTags": 2,
+            "TagVals": 4,
+            "Op": 6,
+            "SrcTypes": 4,
+            "SrcIDs": 6,
+            "DstTypes": 2,
+            "DstIDs": 3,
+            "OutTag": 2,
+            "IQueueDeq": 6,
+            "PredUpdate": 16,
+            "Imm": 32,
+        }
+
+    def test_word_helpers(self):
+        p = DEFAULT_PARAMS
+        assert p.word_mask == 0xFFFFFFFF
+        assert p.word_sign_bit == 0x80000000
+        assert p.num_tags == 4
+
+    def test_table1_rows_cover_all_parameters(self):
+        rows = DEFAULT_PARAMS.table1()
+        assert len(rows) == 12
+        assert rows[0] == ("NRegs", "Number of registers", 8)
+
+
+class TestDerivedScaling:
+    def test_more_queues_widen_indices(self):
+        p = ArchParams(num_input_queues=8, max_deq=2)
+        # 8 queues + "none" encoding needs 4 bits per index.
+        assert p.queue_index_width == 4
+        assert p.iqueue_deq_width == 8
+
+    def test_wider_tags_widen_tag_vals(self):
+        p = ArchParams(tag_width=4)
+        assert p.tag_vals_width == p.max_check * 4
+        assert p.num_tags == 16
+
+    def test_instruction_width_tracks_word_width(self):
+        narrow = ArchParams(word_width=16)
+        assert narrow.instruction_width == 106 - 16
+        assert narrow.padded_instruction_width == 96
+
+    def test_more_predicates_widen_masks(self):
+        p = ArchParams(num_preds=16)
+        assert p.pred_mask_width == 32
+        assert p.pred_update_width == 32
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", [
+        "num_regs", "num_input_queues", "num_output_queues", "max_check",
+        "max_deq", "num_preds", "word_width", "tag_width",
+        "num_instructions", "num_ops", "queue_capacity",
+    ])
+    def test_rejects_non_positive(self, field):
+        with pytest.raises(ParameterError):
+            ArchParams(**{field: 0})
+
+    def test_rejects_max_check_above_queue_count(self):
+        with pytest.raises(ParameterError):
+            ArchParams(max_check=5, num_input_queues=4)
+
+    def test_rejects_max_deq_above_queue_count(self):
+        with pytest.raises(ParameterError):
+            ArchParams(max_deq=5, num_input_queues=4)
+
+    def test_from_dict_round_trip(self):
+        p = ArchParams.from_dict({"num_regs": 16, "word_width": 64})
+        assert p.num_regs == 16
+        assert p.word_width == 64
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ParameterError, match="unknown parameter"):
+            ArchParams.from_dict({"numregs": 8})
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_PARAMS.num_regs = 9

@@ -1,0 +1,63 @@
+"""Two-bit saturating predicate predictor."""
+
+from repro.pipeline.predictor import PredicatePredictor
+from repro.params import DEFAULT_PARAMS as P
+
+
+def test_initial_prediction_is_not_taken():
+    predictor = PredicatePredictor(P)
+    assert predictor.predict(0) == 0
+
+
+def test_two_outcomes_flip_the_prediction():
+    predictor = PredicatePredictor(P)
+    predictor.record_outcome(0, 1)
+    assert predictor.predict(0) == 1     # weak-not -> weak-taken
+    predictor.record_outcome(0, 1)
+    assert predictor.counters[0] == PredicatePredictor.STRONG_TAKEN
+
+
+def test_saturation():
+    predictor = PredicatePredictor(P)
+    for _ in range(10):
+        predictor.record_outcome(0, 1)
+    assert predictor.counters[0] == PredicatePredictor.STRONG_TAKEN
+    for _ in range(10):
+        predictor.record_outcome(0, 0)
+    assert predictor.counters[0] == PredicatePredictor.STRONG_NOT
+
+
+def test_strong_state_tolerates_one_flip():
+    """The hysteresis that makes loop-closing branches near-perfect."""
+    predictor = PredicatePredictor(P)
+    predictor.record_outcome(0, 1)
+    predictor.record_outcome(0, 1)       # strong taken
+    predictor.record_outcome(0, 0)       # single loop exit
+    assert predictor.predict(0) == 1     # still predicts taken
+
+
+def test_predicates_are_independent():
+    predictor = PredicatePredictor(P)
+    predictor.record_outcome(2, 1)
+    predictor.record_outcome(2, 1)
+    assert predictor.predict(2) == 1
+    assert predictor.predict(3) == 0
+
+
+def test_accuracy_accounting():
+    predictor = PredicatePredictor(P)
+    assert predictor.accuracy is None
+    predictor.record_resolution(True)
+    predictor.record_resolution(True)
+    predictor.record_resolution(False)
+    assert predictor.predictions == 3
+    assert abs(predictor.accuracy - 2 / 3) < 1e-12
+
+
+def test_reset():
+    predictor = PredicatePredictor(P)
+    predictor.record_outcome(0, 1)
+    predictor.record_resolution(True)
+    predictor.reset()
+    assert predictor.predictions == 0
+    assert predictor.counters[0] == PredicatePredictor.WEAK_NOT

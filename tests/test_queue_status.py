@@ -1,0 +1,113 @@
+"""Queue-status policies: conservative, effective (+Q), padded."""
+
+import pytest
+
+from repro.arch.queue import TaggedQueue
+from repro.pipeline.config import config_by_name
+from repro.pipeline.queue_status import (
+    ConservativeQueueView,
+    EffectiveQueueView,
+    InFlightQueueState,
+    PaddedQueueView,
+    make_queue_view,
+)
+
+
+@pytest.fixture()
+def setup():
+    inputs = [TaggedQueue(4, f"i{i}") for i in range(2)]
+    outputs = [TaggedQueue(4, f"o{i}") for i in range(2)]
+    state = InFlightQueueState(2, 2)
+    inputs[0].enqueue(10, tag=0)
+    inputs[0].enqueue(20, tag=1)
+    inputs[0].commit()
+    return inputs, outputs, state
+
+
+class TestConservative:
+    def test_pending_dequeue_means_empty(self, setup):
+        inputs, outputs, state = setup
+        view = ConservativeQueueView(inputs, outputs, state)
+        assert view.input_count(0) == 2
+        state.sched_deqs[0] = 1
+        assert view.input_count(0) == 0
+        assert view.input_tag(0) is None
+
+    def test_pending_enqueue_means_full(self, setup):
+        inputs, outputs, state = setup
+        view = ConservativeQueueView(inputs, outputs, state)
+        assert view.output_space(0) == 4
+        state.pending_enqs[0] = 1
+        assert view.output_space(0) == 0
+
+    def test_physical_dequeue_alone_does_not_hide_input(self, setup):
+        """The conservative window keys off retirement, not decode."""
+        inputs, outputs, state = setup
+        view = ConservativeQueueView(inputs, outputs, state)
+        state.pending_deqs[0] = 1     # physically pending, but sched flag clear
+        assert view.input_count(0) == 2
+
+
+class TestEffective:
+    def test_occupancy_corrected_by_pending_dequeues(self, setup):
+        inputs, outputs, state = setup
+        view = EffectiveQueueView(inputs, outputs, state)
+        assert view.input_count(0) == 2
+        state.pending_deqs[0] = 1
+        assert view.input_count(0) == 1
+
+    def test_neck_inspection(self, setup):
+        """With one dequeue in flight the scheduler sees the second entry."""
+        inputs, outputs, state = setup
+        view = EffectiveQueueView(inputs, outputs, state)
+        assert view.input_tag(0, 0) == 0
+        state.pending_deqs[0] = 1
+        assert view.input_tag(0, 0) == 1     # the neck's tag
+
+    def test_output_space_counts_in_flight_enqueues(self, setup):
+        inputs, outputs, state = setup
+        view = EffectiveQueueView(inputs, outputs, state)
+        state.pending_enqs[1] = 2
+        assert view.output_space(1) == 2
+
+    def test_never_negative(self, setup):
+        inputs, outputs, state = setup
+        view = EffectiveQueueView(inputs, outputs, state)
+        state.pending_deqs[0] = 5
+        assert view.input_count(0) == 0
+        state.pending_enqs[0] = 9
+        assert view.output_space(0) == 0
+
+
+class TestPadded:
+    def test_output_checks_against_unpadded_capacity(self, setup):
+        inputs, outputs, state = setup
+        # Physical queue is padded by the pipeline depth (2 here).
+        outputs[0] = TaggedQueue(6, "padded")
+        view = PaddedQueueView(inputs, outputs, state, padding=2)
+        assert view.output_space(0) == 4
+        state.pending_enqs[0] = 3      # padding absorbs them: ignored
+        assert view.output_space(0) == 4
+
+    def test_inputs_stay_conservative(self, setup):
+        inputs, outputs, state = setup
+        view = PaddedQueueView(inputs, outputs, state, padding=2)
+        state.sched_deqs[0] = 1
+        assert view.input_count(0) == 0
+
+
+class TestFactory:
+    def test_policy_selects_view(self, setup):
+        inputs, outputs, state = setup
+        assert isinstance(
+            make_queue_view(config_by_name("T|D|X"), inputs, outputs, state),
+            ConservativeQueueView,
+        )
+        assert isinstance(
+            make_queue_view(config_by_name("T|D|X +Q"), inputs, outputs, state),
+            EffectiveQueueView,
+        )
+        assert isinstance(
+            make_queue_view(config_by_name("T|D|X +pad"), inputs, outputs, state),
+            PaddedQueueView,
+        )

@@ -1,0 +1,161 @@
+"""Trigger resolution: priority, predicate matching, queue conditions."""
+
+import pytest
+
+from repro.arch.queue import TaggedQueue
+from repro.arch.scheduler import ArchQueueView, Scheduler, TriggerKind
+from repro.isa.instruction import (
+    DatapathOp,
+    Destination,
+    Instruction,
+    Operand,
+    TagCheck,
+    Trigger,
+    make_nop,
+)
+from repro.isa.opcodes import op_by_name
+from repro.params import DEFAULT_PARAMS as P
+
+
+@pytest.fixture()
+def queues():
+    inputs = [TaggedQueue(4, f"i{i}") for i in range(4)]
+    outputs = [TaggedQueue(4, f"o{i}") for i in range(4)]
+    return inputs, outputs
+
+
+def view(queues):
+    return ArchQueueView(*queues)
+
+
+def ins(trigger=Trigger(), op="add", srcs=(Operand.reg(0), Operand.reg(1)),
+        dst=Destination.reg(0), deq=()):
+    return Instruction(
+        trigger=trigger,
+        dp=DatapathOp(op=op_by_name(op), srcs=tuple(srcs), dst=dst, deq=tuple(deq)),
+    )
+
+
+def fill(queue, *entries):
+    for entry in entries:
+        value, tag = entry if isinstance(entry, tuple) else (entry, 0)
+        queue.enqueue(value, tag)
+    queue.commit()
+
+
+class TestPriority:
+    def test_highest_priority_triggered_fires(self, queues):
+        program = [ins(Trigger(pred_on=0b1)), ins(), ins()]
+        outcome = Scheduler(P).evaluate(program, 0, view(queues))
+        # Slot 0 requires p0=1 and p0 is 0, so slot 1 wins.
+        assert outcome.kind is TriggerKind.FIRED and outcome.index == 1
+
+    def test_invalid_slots_skipped(self, queues):
+        program = [make_nop(), ins()]
+        outcome = Scheduler(P).evaluate(program, 0, view(queues))
+        assert outcome.index == 1
+
+    def test_none_triggered(self, queues):
+        program = [ins(Trigger(pred_on=0b1))]
+        outcome = Scheduler(P).evaluate(program, 0, view(queues))
+        assert outcome.kind is TriggerKind.NONE_TRIGGERED
+
+    def test_triggered_indices_telemetry(self, queues):
+        program = [ins(), ins(Trigger(pred_on=0b1)), ins()]
+        indices = Scheduler(P).triggered_indices(program, 0, view(queues))
+        assert indices == [0, 2]
+
+
+class TestQueueConditions:
+    def test_source_queue_must_be_nonempty(self, queues):
+        program = [ins(srcs=(Operand.input_queue(0), Operand.reg(0)))]
+        sched = Scheduler(P)
+        assert sched.evaluate(program, 0, view(queues)).kind is TriggerKind.NONE_TRIGGERED
+        fill(queues[0][0], 5)
+        assert sched.evaluate(program, 0, view(queues)).fired
+
+    def test_dequeued_queue_must_be_nonempty(self, queues):
+        program = [ins(deq=(2,))]
+        sched = Scheduler(P)
+        assert not sched.evaluate(program, 0, view(queues)).fired
+        fill(queues[0][2], 1)
+        assert sched.evaluate(program, 0, view(queues)).fired
+
+    def test_tag_check_matches_head(self, queues):
+        program = [ins(Trigger(tag_checks=(TagCheck(0, tag=2),)))]
+        sched = Scheduler(P)
+        fill(queues[0][0], (5, 1))
+        assert not sched.evaluate(program, 0, view(queues)).fired
+        queues[0][0].dequeue()
+        fill(queues[0][0], (5, 2))
+        assert sched.evaluate(program, 0, view(queues)).fired
+
+    def test_negated_tag_check(self, queues):
+        program = [ins(Trigger(tag_checks=(TagCheck(0, tag=2, negate=True),)))]
+        sched = Scheduler(P)
+        fill(queues[0][0], (5, 2))
+        assert not sched.evaluate(program, 0, view(queues)).fired
+        queues[0][0].dequeue()
+        fill(queues[0][0], (5, 0))
+        assert sched.evaluate(program, 0, view(queues)).fired
+
+    def test_output_needs_space(self, queues):
+        program = [ins(dst=Destination.output_queue(1, 0))]
+        sched = Scheduler(P)
+        for _ in range(4):
+            queues[1][1].enqueue(0)
+        queues[1][1].commit()
+        assert sched.evaluate(program, 0, view(queues)).kind is TriggerKind.NONE_TRIGGERED
+        queues[1][1].dequeue()
+        assert sched.evaluate(program, 0, view(queues)).fired
+
+
+class TestPredicateHazards:
+    def test_pending_watched_bit_blocks(self, queues):
+        program = [ins(Trigger(pred_on=0b1))]
+        outcome = Scheduler(P).evaluate(
+            program, 0b1, view(queues), pending_predicates=0b1)
+        assert outcome.kind is TriggerKind.PREDICATE_HAZARD
+
+    def test_pending_unwatched_bit_harmless(self, queues):
+        program = [ins(Trigger(pred_on=0b1))]
+        outcome = Scheduler(P).evaluate(
+            program, 0b1, view(queues), pending_predicates=0b10)
+        assert outcome.fired
+
+    def test_stable_mismatch_beats_pending(self, queues):
+        """If the non-pending watched bits already fail, the instruction is
+        simply not triggered — no hazard stall."""
+        program = [ins(Trigger(pred_on=0b11))]
+        outcome = Scheduler(P).evaluate(
+            program, 0b00, view(queues), pending_predicates=0b10)
+        assert outcome.kind is TriggerKind.NONE_TRIGGERED
+
+    def test_unknown_blocks_lower_priority(self, queues):
+        """Priority semantics: nothing may fire past an unknown slot."""
+        program = [ins(Trigger(pred_on=0b1)), ins()]
+        outcome = Scheduler(P).evaluate(
+            program, 0b1, view(queues), pending_predicates=0b1)
+        assert outcome.kind is TriggerKind.PREDICATE_HAZARD
+        assert outcome.index == 0
+
+    def test_higher_priority_triggered_fires_before_unknown(self, queues):
+        program = [ins(), ins(Trigger(pred_on=0b1))]
+        outcome = Scheduler(P).evaluate(
+            program, 0b1, view(queues), pending_predicates=0b1)
+        assert outcome.fired and outcome.index == 0
+
+
+class TestSpeculationRestrictions:
+    def test_side_effect_forbidden_while_speculating(self, queues):
+        fill(queues[0][0], 1)
+        program = [ins(deq=(0,))]
+        outcome = Scheduler(P).evaluate(
+            program, 0, view(queues), forbid_side_effects=True)
+        assert outcome.kind is TriggerKind.FORBIDDEN
+
+    def test_pure_instruction_allowed_while_speculating(self, queues):
+        program = [ins()]
+        outcome = Scheduler(P).evaluate(
+            program, 0, view(queues), forbid_side_effects=True)
+        assert outcome.fired

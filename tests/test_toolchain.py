@@ -1,0 +1,120 @@
+"""Parameter file, header generators, and the CLI drivers."""
+
+import pytest
+
+from repro.asm.__main__ import main as asm_main
+from repro.errors import ParameterError
+from repro.params import ArchParams, DEFAULT_PARAMS
+from repro.toolchain import (
+    dump_params,
+    generate_c_header,
+    generate_sv_header,
+    load_params,
+    loads_params,
+    save_params,
+)
+from repro.toolchain.__main__ import main as toolchain_main
+
+
+class TestParamsFile:
+    def test_round_trip_defaults(self):
+        text = dump_params(DEFAULT_PARAMS)
+        assert loads_params(text) == DEFAULT_PARAMS
+
+    def test_round_trip_custom(self):
+        params = ArchParams(num_regs=16, word_width=16, tag_width=3)
+        assert loads_params(dump_params(params)) == params
+
+    def test_comments_and_blank_lines(self):
+        params = loads_params("""
+        # a comment
+        num_regs: 4   # trailing comment
+
+        num_preds: 4
+        """)
+        assert params.num_regs == 4 and params.num_preds == 4
+
+    def test_hex_values(self):
+        assert loads_params("word_width: 0x20").word_width == 32
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ParameterError, match="unknown parameter"):
+            loads_params("numregs: 8")
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ParameterError, match="duplicate"):
+            loads_params("num_regs: 8\nnum_regs: 9")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ParameterError, match="expected"):
+            loads_params("num_regs 8")
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ParameterError, match="integer"):
+            loads_params("num_regs: eight")
+
+    def test_disk_round_trip(self, tmp_path):
+        path = tmp_path / "params.txt"
+        save_params(DEFAULT_PARAMS, str(path))
+        assert load_params(str(path)) == DEFAULT_PARAMS
+
+
+class TestHeaderGenerators:
+    def test_sv_header_contains_table2_widths(self):
+        header = generate_sv_header()
+        assert "localparam integer INSTRUCTION_WIDTH = 106;" in header
+        assert "PADDED_INSTRUCTION_WIDTH = 128" in header
+        assert "PREDMASK_WIDTH = 16" in header
+        assert header.startswith("//")
+        assert "endpackage" in header
+
+    def test_c_header_contains_byte_stride(self):
+        header = generate_c_header()
+        assert "#define TIA_INSTRUCTION_BYTES 16" in header
+        assert "#define TIA_WORD_WIDTH 32" in header
+        assert "#ifndef TIA_PARAMS_H" in header
+
+    def test_headers_track_parameters(self):
+        params = ArchParams(num_preds=16)
+        assert "NUM_PREDICATES = 16" in generate_sv_header(params)
+        assert f"INSTRUCTION_WIDTH = {params.instruction_width}" in \
+            generate_sv_header(params)
+
+
+class TestCli:
+    def test_assemble_and_disassemble(self, tmp_path, capsys):
+        source = tmp_path / "p.s"
+        binary = tmp_path / "p.bin"
+        source.write_text("when %p == XXXXXXXX:\n    halt;\n")
+        assert asm_main([str(source), "-o", str(binary)]) == 0
+        assert binary.stat().st_size == 16
+        assert asm_main(["--disassemble", str(binary)]) == 0
+        out = capsys.readouterr().out
+        assert "halt" in out
+
+    def test_check_mode(self, tmp_path, capsys):
+        source = tmp_path / "p.s"
+        source.write_text("when %p == XXXXXXXX:\n    nop;\n")
+        assert asm_main(["--check", str(source)]) == 0
+        assert "1 instructions" in capsys.readouterr().out
+
+    def test_assembler_error_is_reported(self, tmp_path, capsys):
+        source = tmp_path / "bad.s"
+        source.write_text("when %p == XXXXXXXX:\n    fdiv %r0, %r1, %r2;\n")
+        assert asm_main(["--check", str(source)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_custom_params_flow(self, tmp_path, capsys):
+        params_path = tmp_path / "params.txt"
+        assert toolchain_main(["--emit-defaults", str(params_path)]) == 0
+        sv = tmp_path / "params.sv"
+        c = tmp_path / "params.h"
+        assert toolchain_main(
+            ["--params", str(params_path), "--sv", str(sv), "--c", str(c)]
+        ) == 0
+        assert "INSTRUCTION_WIDTH = 106" in sv.read_text()
+        assert "TIA_INSTRUCTION_BYTES 16" in c.read_text()
+
+    def test_toolchain_prints_sv_by_default(self, capsys):
+        assert toolchain_main([]) == 0
+        assert "package tia_params" in capsys.readouterr().out

@@ -1,0 +1,70 @@
+"""Pipeline tracer / debug monitor."""
+
+from repro.asm import assemble
+from repro.pipeline import PipelinedPE, config_by_name
+from repro.pipeline.trace import PipelineTracer
+
+LOOP = """
+when %p == XXXXXXX0:
+    ult %p1, %r0, $5; set %p = ZZZZZZZ1;
+when %p == XXXXXX11:
+    add %r0, %r0, $1; set %p = ZZZZZZ00;
+when %p == XXXXXX01:
+    halt;
+"""
+
+
+def traced(config_name):
+    pe = PipelinedPE(config_by_name(config_name), name="t")
+    assemble(LOOP).configure(pe)
+    tracer = PipelineTracer(pe)
+    tracer.run()
+    return tracer
+
+
+def test_records_every_cycle():
+    tracer = traced("T|D|X")
+    assert len(tracer.records) == tracer.pe.counters.cycles
+
+
+def test_event_histogram_tiles_cycles():
+    tracer = traced("T|D|X")
+    histogram = tracer.event_histogram()
+    assert sum(histogram.values()) == tracer.pe.counters.cycles
+    assert histogram["issued"] == tracer.pe.counters.issued
+    assert histogram.get("predicate hazard", 0) == \
+        tracer.pe.counters.pred_hazard_cycles
+
+
+def test_stage_names_match_partition():
+    assert traced("T|D|X1|X2").stage_names() == ["T", "D", "X1", "X2"]
+    assert traced("TDX").stage_names() == ["TDX"]
+
+
+def test_render_is_a_table():
+    tracer = traced("T|D|X")
+    text = tracer.render(count=5)
+    lines = text.splitlines()
+    assert "cycle" in lines[0] and "event" in lines[0]
+    assert len(lines) == 6
+
+
+def test_utilization_bounded():
+    tracer = traced("T|D|X1|X2")
+    assert 0.0 < tracer.utilization() <= 1.0
+
+
+def test_speculation_flagged_in_records():
+    pe = PipelinedPE(config_by_name("T|D|X1|X2 +P"), name="t")
+    assemble(LOOP).configure(pe)
+    tracer = PipelineTracer(pe)
+    tracer.run()
+    assert any(record.speculating for record in tracer.records)
+
+
+def test_limit_caps_memory():
+    pe = PipelinedPE(config_by_name("T|D|X"), name="t")
+    assemble(LOOP).configure(pe)
+    tracer = PipelineTracer(pe, limit=3)
+    tracer.run()
+    assert len(tracer.records) == 3

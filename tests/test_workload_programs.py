@@ -1,0 +1,81 @@
+"""Cross-cutting checks on the real workload programs.
+
+The ten Table 3 programs are the most demanding artifacts in the repo:
+they exercise every ISA feature, fill PEs to capacity, and must encode,
+decode and disassemble faithfully.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.asm.disassembler import disassemble
+from repro.isa.encoding import decode_program
+from repro.params import DEFAULT_PARAMS as P
+from repro.workloads.arg_max import arg_max_program
+from repro.workloads.bst import bst_program
+from repro.workloads.common import counter_producer, memory_streamer
+from repro.workloads.dot_product import mac_program
+from repro.workloads.filter import filter_worker_program, threshold_program
+from repro.workloads.gcd import gcd_program
+from repro.workloads.mean import mean_program
+from repro.workloads.merge import merge_program
+from repro.workloads.string_search import dfa_program, splitter_program
+from repro.workloads.udiv import divider_program, feeder_program
+
+
+def _all_programs():
+    return {
+        "bst": bst_program(P, 32, 64),
+        "gcd": gcd_program(P),
+        "mean": mean_program(P, 64),
+        "arg_max": arg_max_program(P, 100),
+        "dot_product": mac_program(P, 100),
+        "threshold": threshold_program(P, 1 << 20),
+        "filter_worker": filter_worker_program(P, 100, 200),
+        "merge": merge_program(P, 100),
+        "splitter": splitter_program(P),
+        "string_search": dfa_program(P, 100, 5),
+        "udiv": divider_program(P),
+        "udiv_feeder": feeder_program(P, 16, 100),
+        "streamer_last": memory_streamer(0, 16, P, eos="last"),
+        "streamer_sentinel": memory_streamer(0, 16, P, eos="sentinel"),
+        "streamer_none": memory_streamer(0, 16, P, eos="none"),
+        "counter": counter_producer(0, 16, P, eos="sentinel"),
+    }
+
+
+@pytest.mark.parametrize("name,program", _all_programs().items(),
+                         ids=_all_programs().keys())
+class TestProgramArtifacts:
+    def test_fits_the_pe(self, name, program):
+        assert 1 <= len(program) <= P.num_instructions
+
+    def test_binary_round_trip(self, name, program):
+        blob = program.binary(P)
+        decoded = decode_program(blob, P)
+        for original, back in zip(program.instructions, decoded):
+            assert back.trigger == original.trigger
+            assert back.dp == original.dp
+
+    def test_disassembly_reassembles_identically(self, name, program):
+        text = disassemble(program.instructions, P, program.initial_predicates)
+        again = assemble(text)
+        assert again.binary(P) == program.binary(P)
+        assert again.initial_predicates == program.initial_predicates
+
+
+def test_bst_and_udiv_fill_the_pe_exactly():
+    """Both are written to use all 16 instruction slots — the paper's
+    point about each slot being a scarce resource."""
+    assert len(bst_program(P, 32, 64)) == P.num_instructions
+    assert len(divider_program(P)) == P.num_instructions
+
+
+def test_every_program_obeys_max_check():
+    for name, program in _all_programs().items():
+        for ins in program.instructions:
+            assert len(ins.trigger.tag_checks) <= P.max_check, (name, ins.label)
+
+
+def test_udiv_feeder_fits_with_room_for_none():
+    assert len(feeder_program(P, 16, 100)) <= P.num_instructions

@@ -1,0 +1,127 @@
+"""The ten Table 3 microbenchmarks, validated end to end."""
+
+import pytest
+
+from repro.pipeline import PipelinedPE, config_by_name
+from repro.workloads import WORKLOADS, get_workload, run_workload
+from repro.errors import ConfigError
+
+ALL = WORKLOADS()
+
+
+class TestSuiteShape:
+    def test_table3_has_ten_benchmarks(self):
+        assert len(ALL) == 10
+        assert ALL == [
+            "bst", "gcd", "mean", "arg_max", "dot_product",
+            "filter", "merge", "stream", "string_search", "udiv",
+        ]
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigError, match="unknown workload"):
+            get_workload("matmul")
+
+    def test_single_vs_multi_pe_counts(self):
+        """Three single-PE programs, seven on small arrays (Table 3)."""
+        single = [n for n in ALL if get_workload(n).pe_count == 1]
+        assert single == ["bst", "gcd", "mean"]
+        assert all(2 <= get_workload(n).pe_count <= 4 for n in ALL
+                   if n not in single)
+
+    def test_every_workload_has_a_worker(self):
+        for name in ALL:
+            assert get_workload(name).worker_name == "worker"
+
+    def test_programs_fit_the_pe(self):
+        """Every PE program respects NIns = 16 (enforced at configure)."""
+        for name in ALL:
+            run_workload(name, scale=8)   # configure would raise otherwise
+
+
+class TestFunctionalCorrectness:
+    """run_workload raises on any golden-model mismatch."""
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_default_seed(self, name):
+        run = run_workload(name, scale=16)
+        assert run.cycles > 0
+        assert run.worker_counters.retired > 0
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_alternate_seed(self, name):
+        run_workload(name, scale=16, seed=99)
+
+    @pytest.mark.parametrize("name", ["bst", "merge", "udiv", "string_search"])
+    def test_larger_scale(self, name):
+        run_workload(name, scale=48)
+
+    def test_udiv_divides_correctly_at_scale_one(self):
+        run_workload("udiv", scale=1)
+
+    def test_string_search_finds_planted_patterns(self):
+        run = run_workload("string_search", scale=32)
+        out_base = 32  # words of text
+        marks = run.system.memory.dump(out_base, 128)
+        assert sum(marks) >= 2   # planted occurrences found
+
+
+class TestPipelinedCorrectness:
+    """The same programs must validate on pipelined microarchitectures."""
+
+    @pytest.mark.parametrize("config_name", [
+        "TDX", "TD|X", "T|D|X1|X2", "T|D|X1|X2 +P", "T|D|X1|X2 +P+Q",
+        "TDX1|X2 +Q",
+    ])
+    @pytest.mark.parametrize("name", ALL)
+    def test_all_workloads(self, name, config_name):
+        config = config_by_name(config_name)
+        factory = lambda pe_name: PipelinedPE(config, name=pe_name)
+        run = run_workload(name, make_pe=factory, scale=12)
+        run.worker_counters.check_consistency()
+
+    def test_pipelining_never_changes_results_only_timing(self):
+        shallow = run_workload(
+            "merge",
+            make_pe=lambda n: PipelinedPE(config_by_name("TDX"), name=n),
+            scale=16,
+        )
+        deep = run_workload(
+            "merge",
+            make_pe=lambda n: PipelinedPE(config_by_name("T|D|X1|X2"), name=n),
+            scale=16,
+        )
+        assert deep.cycles > shallow.cycles
+
+    def test_dot_product_worker_writes_no_predicates(self):
+        """The Figure 4 outlier: control purely via operand tags."""
+        run = run_workload(
+            "dot_product",
+            make_pe=lambda n: PipelinedPE(config_by_name("T|D|X +P"), name=n),
+            scale=16,
+        )
+        assert run.worker_counters.predicate_writes == 0
+        assert run.worker_counters.prediction_accuracy is None
+
+    def test_filter_and_merge_predictions_are_hard(self):
+        """High-entropy control flow: accuracy near the 50% worst case."""
+        for name in ("filter", "merge"):
+            run = run_workload(
+                name,
+                make_pe=lambda n: PipelinedPE(
+                    config_by_name("T|D|X1|X2 +P"), name=n),
+                scale=96,
+            )
+            accuracy = run.worker_counters.prediction_accuracy
+            assert accuracy is not None and accuracy < 0.75
+
+    def test_gcd_and_stream_predictions_are_easy(self):
+        """Long predictable loops: near-perfect accuracy."""
+        for name in ("gcd", "stream"):
+            run = run_workload(
+                name,
+                make_pe=lambda n: PipelinedPE(
+                    config_by_name("T|D|X1|X2 +P"), name=n),
+                scale=96,
+            )
+            accuracy = run.worker_counters.prediction_accuracy
+            assert accuracy is not None and accuracy > 0.9
