@@ -1,0 +1,161 @@
+"""Simulator performance harness: throughput and campaign wall-clock.
+
+Measures the two quantities the fast path and the parallel campaigns
+were built for, and writes them to a JSON baseline
+(``benchmarks/BENCH_simulator.json``) so regressions show up as diffs:
+
+* **cycles/sec** of the pipelined PE on a register-loop microbenchmark,
+  with the compiled-trigger + memoized fast path on and off (the *off*
+  path is the original per-cycle dataclass walk, kept as the reference
+  for the differential tests);
+* **campaign wall-clock** for a CPI campaign over several configs, run
+  serially and through the process pool, plus the resulting speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py [--quick]
+        [--cycles N] [--scale N] [--workers N] [--out PATH]
+
+``--quick`` shrinks every measurement for CI smoke runs (the JSON is
+then written only if ``--out`` is given explicitly).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.asm import assemble
+from repro.dse.cpi import CpiTable
+from repro.parallel import resolve_workers
+from repro.pipeline import PipelinedPE, config_by_name
+from repro.pipeline.config import all_configs
+
+LOOP = """
+when %p == XXXXXXX0:
+    ult %p1, %r0, $1000000; set %p = ZZZZZZZ1;
+when %p == XXXXXX11:
+    add %r0, %r0, $1; set %p = ZZZZZZ00;
+when %p == XXXXXX01:
+    halt;
+"""
+
+BENCH_CONFIG = "T|D|X1|X2 +P+Q"
+
+
+def measure_throughput(cycles: int, fast_path: bool, repeats: int = 3) -> float:
+    """Best-of-N cycles/sec for the pipelined PE on the loop program."""
+    best = 0.0
+    for _ in range(repeats):
+        pe = PipelinedPE(
+            config_by_name(BENCH_CONFIG), name="bench", fast_path=fast_path
+        )
+        assemble(LOOP).configure(pe)
+        start = time.perf_counter()
+        for _ in range(cycles):
+            pe.step()
+            pe.commit_queues()
+        elapsed = time.perf_counter() - start
+        best = max(best, cycles / elapsed)
+    return best
+
+
+def measure_campaign(
+    scale: int, num_configs: int, workers: int
+) -> tuple[float, float]:
+    """(serial_seconds, parallel_seconds) for a CPI campaign."""
+    configs = all_configs()[:num_configs]
+
+    os.environ["REPRO_SERIAL"] = "1"
+    try:
+        table = CpiTable(scale=scale)
+        start = time.perf_counter()
+        table.populate(configs)
+        serial = time.perf_counter() - start
+    finally:
+        del os.environ["REPRO_SERIAL"]
+
+    table = CpiTable(scale=scale)
+    start = time.perf_counter()
+    table.populate(configs, workers=workers)
+    parallel = time.perf_counter() - start
+    return serial, parallel
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cycles", type=int, default=60_000,
+                        help="simulated cycles per throughput repeat")
+    parser.add_argument("--scale", type=int, default=12,
+                        help="workload scale for the campaign measurement")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool width for the parallel campaign "
+                             "(default: repro.parallel policy)")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny measurements for CI smoke runs")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: "
+                             "benchmarks/BENCH_simulator.json; quick runs "
+                             "only write when given explicitly)")
+    args = parser.parse_args(argv)
+
+    cycles = 5_000 if args.quick else args.cycles
+    scale = 6 if args.quick else args.scale
+    num_configs = 2 if args.quick else 8
+    repeats = 1 if args.quick else 3
+    workers = resolve_workers(args.workers)
+
+    reference = measure_throughput(cycles, fast_path=False, repeats=repeats)
+    fast = measure_throughput(cycles, fast_path=True, repeats=repeats)
+    print(f"throughput reference : {reference:12,.0f} cycles/sec")
+    print(f"throughput fast path : {fast:12,.0f} cycles/sec "
+          f"({fast / reference:.2f}x)")
+
+    serial_s, parallel_s = measure_campaign(scale, num_configs, workers)
+    sweep_speedup = serial_s / parallel_s if parallel_s else float("inf")
+    print(f"campaign serial      : {serial_s:8.2f} s "
+          f"({num_configs} configs, scale {scale})")
+    print(f"campaign {workers:2d} workers  : {parallel_s:8.2f} s "
+          f"({sweep_speedup:.2f}x)")
+
+    payload = {
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "throughput": {
+            "config": BENCH_CONFIG,
+            "cycles": cycles,
+            "reference_cycles_per_sec": round(reference),
+            "fast_path_cycles_per_sec": round(fast),
+            "speedup": round(fast / reference, 2),
+        },
+        "campaign": {
+            "scale": scale,
+            "configs": num_configs,
+            "workers": workers,
+            "serial_seconds": round(serial_s, 3),
+            "parallel_seconds": round(parallel_s, 3),
+            "speedup": round(sweep_speedup, 2),
+        },
+    }
+    out = args.out
+    if out is None and not args.quick:
+        out = os.path.join(os.path.dirname(__file__), "BENCH_simulator.json")
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.write("\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,9 +17,19 @@ from repro.arch.queue import TaggedQueue
 from repro.arch.regfile import RegisterFile
 from repro.arch.scheduler import ArchQueueView, Scheduler, TriggerKind
 from repro.arch.scratchpad import Scratchpad
+from repro.arch.trigger_cache import (
+    DST_OUT,
+    DST_PRED,
+    DST_REG,
+    IN,
+    REG,
+    CompiledDatapath,
+    compile_datapaths,
+    compile_program,
+)
 from repro.errors import SimulationError
 from repro.isa.alu import alu_execute
-from repro.isa.instruction import DestinationType, Instruction, OperandType
+from repro.isa.instruction import Instruction
 from repro.params import ArchParams, DEFAULT_PARAMS
 
 
@@ -79,6 +89,17 @@ class FunctionalPE:
         self.counters = FunctionalCounters()
         self.halted = False
         self._initial_predicates = initial_predicates
+        # One architectural queue view per PE; it reads live queue state
+        # through the (stable) input/output lists, so rebuilding it per
+        # cycle was pure allocation churn.
+        self._view = ArchQueueView(self.inputs, self.outputs)
+        # Fast path: triggers compiled at load time plus a memoized
+        # trigger decision keyed on predicate state and a queue-status
+        # signature built from monotone queue version counters.
+        self._compiled = None
+        self._dp_meta: list[CompiledDatapath] = []
+        self._decision_cache: dict[tuple, object] = {}
+        self._sig_queues = self.inputs + self.outputs
 
     # ------------------------------------------------------------------
     # Host interface (the userspace library's role)
@@ -95,6 +116,19 @@ class FunctionalPE:
             if ins.valid:
                 ins.validate(self.params)
         self.instructions = list(instructions)
+        self._compiled = compile_program(self.instructions)
+        self._dp_meta = compile_datapaths(self.instructions, self.params)
+        self._decision_cache.clear()
+
+    def invalidate_schedule_cache(self) -> None:
+        """Drop memoized trigger decisions (call after external rewiring).
+
+        Queue-version signatures are only monotone for the queue objects
+        the PE currently holds; swapping a queue object (as fabric wiring
+        does) could otherwise let a stale signature alias a new state.
+        """
+        self._decision_cache.clear()
+        self._sig_queues = self.inputs + self.outputs
 
     def reset(self) -> None:
         """Return all architectural state to its post-configuration value."""
@@ -108,6 +142,7 @@ class FunctionalPE:
             self.scratchpad.reset()
         self.counters = FunctionalCounters()
         self.halted = False
+        self._decision_cache.clear()
 
     # ------------------------------------------------------------------
     # Simulation
@@ -118,61 +153,76 @@ class FunctionalPE:
         if self.halted:
             return False
         self.counters.cycles += 1
-        view = ArchQueueView(self.inputs, self.outputs)
-        outcome = self.scheduler.evaluate(
-            self.instructions, self.preds.state, view
-        )
+        signature = 0
+        for queue in self._sig_queues:
+            signature += queue.version
+        key = (self.preds.state, signature)
+        outcome = self._decision_cache.get(key)
+        if outcome is None:
+            outcome = self.scheduler.evaluate(
+                self.instructions, self.preds.state, self._view,
+                compiled=self._compiled,
+            )
+            if len(self._decision_cache) >= 1 << 16:
+                self._decision_cache.clear()
+            self._decision_cache[key] = outcome
         if outcome.kind is not TriggerKind.FIRED:
             self.counters.none_triggered += 1
             return False
-        self._execute(self.instructions[outcome.index], outcome.index)
+        self._execute(outcome.index)
         return True
 
-    def _execute(self, ins: Instruction, slot: int) -> None:
-        dp = ins.dp
+    def _execute(self, slot: int) -> None:
+        meta = self._dp_meta[slot]
 
         # Operand read (queue sources peek at the head; dequeue is separate).
         operands = []
-        for src in dp.srcs:
-            if src.kind is OperandType.REG:
-                operands.append(self.regs.read(src.index))
-            elif src.kind is OperandType.IN:
-                operands.append(self.inputs[src.index].peek(0).value)
-            elif src.kind is OperandType.IMM:
-                operands.append(dp.imm & self.params.word_mask)
-            else:
-                operands.append(0)
-        while len(operands) < 2:
-            operands.append(0)
+        for code, payload in meta.operand_plan:
+            if code == REG:
+                operands.append(self.regs.read(payload))
+            elif code == IN:
+                operands.append(self.inputs[payload].peek(0).value)
+            else:   # LIT: an immediate (pre-masked) or an absent source
+                operands.append(payload)
 
         # Issue-time atomic actions: predicate force-update and dequeues.
-        self.preds.apply_update(dp.pred_update)
-        for queue in dp.deq:
+        self.preds.apply_update(meta.pred_update)
+        for queue in meta.deq:
             self.inputs[queue].dequeue()
             self.counters.dequeues += 1
 
-        result = alu_execute(dp.op, operands[0], operands[1], self.params, self.scratchpad)
+        semantics = meta.semantics
+        if semantics is not None:
+            params = self.params
+            mask = params.word_mask
+            result = semantics(
+                operands[0] & mask, operands[1] & mask, params, mask,
+                params.word_width, self.scratchpad,
+            )
+        else:
+            result = alu_execute(meta.op, operands[0], operands[1],
+                                 self.params, self.scratchpad)
 
         if result.store is not None:
             if self.scratchpad is None:
                 raise SimulationError(f"{self.name}: store without a scratchpad")
             self.scratchpad.store(*result.store)
 
-        dst = dp.dst
-        if dst.kind is DestinationType.REG:
-            self.regs.write(dst.index, result.value)
-        elif dst.kind is DestinationType.OUT:
-            self.outputs[dst.index].enqueue(result.value, dst.out_tag)
+        dst_kind = meta.dst_kind
+        if dst_kind == DST_REG:
+            self.regs.write(meta.dst_index, result.value)
+        elif dst_kind == DST_OUT:
+            self.outputs[meta.dst_index].enqueue(result.value, meta.out_tag)
             self.counters.enqueues += 1
-        elif dst.kind is DestinationType.PRED:
-            self.preds.write_bit(dst.index, result.value & 1)
+        elif dst_kind == DST_PRED:
+            self.preds.write_bit(meta.dst_index, result.value & 1)
             self.counters.predicate_writes += 1
 
         if result.halt:
             self.halted = True
 
         self.counters.retired += 1
-        self.counters.retired_by_op[dp.op.mnemonic] += 1
+        self.counters.retired_by_op[meta.op.mnemonic] += 1
         self.counters.retired_by_slot[slot] += 1
 
     def commit_queues(self) -> None:
@@ -182,9 +232,11 @@ class FunctionalPE:
         commits each shared channel exactly once per cycle instead.
         """
         for queue in self.inputs:
-            queue.commit()
+            if queue._staged:
+                queue.commit()
         for queue in self.outputs:
-            queue.commit()
+            if queue._staged:
+                queue.commit()
 
     def run(self, max_cycles: int = 1_000_000) -> FunctionalCounters:
         """Run standalone until halt (single-PE convenience wrapper)."""

@@ -42,6 +42,11 @@ class TaggedQueue:
         self.name = name
         self._live: deque[QueueEntry] = deque()
         self._staged: list[QueueEntry] = []
+        #: Monotonic change counter, bumped by every mutation that could
+        #: alter what a scheduler queue-status view reports.  Memoizing
+        #: schedulers sum these versions into a cheap state signature:
+        #: an unchanged sum guarantees unchanged queue status.
+        self.version = 0
 
     # -- producer side --------------------------------------------------
 
@@ -59,6 +64,7 @@ class TaggedQueue:
         if self.free_slots <= 0:
             raise QueueError(f"enqueue to full queue {self.name!r}")
         self._staged.append(QueueEntry(value, tag))
+        self.version += 1
 
     # -- consumer side --------------------------------------------------
 
@@ -89,6 +95,7 @@ class TaggedQueue:
         """Remove and return the head entry (takes effect immediately)."""
         if not self._live:
             raise QueueError(f"dequeue from empty queue {self.name!r}")
+        self.version += 1
         return self._live.popleft()
 
     # -- simulation control ----------------------------------------------
@@ -98,15 +105,18 @@ class TaggedQueue:
         if self._staged:
             self._live.extend(self._staged)
             self._staged.clear()
+            self.version += 1
 
     def reset(self) -> None:
         self._live.clear()
         self._staged.clear()
+        self.version += 1
 
     def drain(self) -> list[QueueEntry]:
         """Remove and return every visible entry (host-side helper)."""
         items = list(self._live)
         self._live.clear()
+        self.version += 1
         return items
 
     def __len__(self) -> int:

@@ -24,6 +24,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.arch.queue import TaggedQueue
+from repro.arch.trigger_cache import CompiledProgram
 from repro.isa.instruction import Instruction
 from repro.params import ArchParams
 
@@ -100,6 +101,7 @@ class Scheduler:
         view: QueueStatusView,
         pending_predicates: int = 0,
         forbid_side_effects: bool = False,
+        compiled: CompiledProgram | None = None,
     ) -> TriggerOutcome:
         """Resolve triggers for one cycle.
 
@@ -109,7 +111,17 @@ class Scheduler:
         nothing of lower priority may fire past it.  The first *triggered*
         instruction before any unknown one fires — unless speculation
         forbids its side effects, which is reported as a forbidden cycle.
+
+        When ``compiled`` descriptors for the same program are supplied
+        (see :mod:`repro.arch.trigger_cache`) the walk runs over flat
+        integer masks instead of the instruction dataclasses; the outcome
+        is bit-for-bit identical.
         """
+        if compiled is not None:
+            return self._evaluate_compiled(
+                compiled, pred_state, view, pending_predicates,
+                forbid_side_effects,
+            )
         for index, ins in enumerate(instructions):
             status = self._eligibility(ins, pred_state, view, pending_predicates)
             if status is _Eligibility.UNKNOWN:
@@ -120,17 +132,76 @@ class Scheduler:
                 return TriggerOutcome(TriggerKind.FIRED, index)
         return TriggerOutcome(TriggerKind.NONE_TRIGGERED)
 
+    def _evaluate_compiled(
+        self,
+        compiled: CompiledProgram,
+        pred_state: int,
+        view: QueueStatusView,
+        pending_predicates: int,
+        forbid_side_effects: bool,
+    ) -> TriggerOutcome:
+        """The fast path of :meth:`evaluate`: masks over flat descriptors.
+
+        Invalid slots carry no descriptor, so the walk skips them for
+        free; ``descriptor.index`` keeps outcomes reporting original
+        priority slots.  Check order mirrors :meth:`_eligibility` exactly
+        (queue occupancy, tag checks, output space, stable predicates,
+        pending predicates) so short-circuit semantics cannot diverge.
+        """
+        input_count = view.input_count
+        input_tag = view.input_tag
+        output_space = view.output_space
+        for d in compiled.descriptors:
+            eligible = True
+            for queue in d.required_queues:
+                if input_count(queue) < 1:
+                    eligible = False
+                    break
+            if not eligible:
+                continue
+            for queue, tag, negate in d.tag_checks:
+                head_tag = input_tag(queue, 0)
+                if head_tag is None or (head_tag == tag) is negate:
+                    eligible = False
+                    break
+            if not eligible:
+                continue
+            if d.out_queue >= 0 and output_space(d.out_queue) < 1:
+                continue
+            watched = d.watched
+            stable = watched & ~pending_predicates
+            on_stable = d.pred_on & stable
+            off_stable = d.pred_off & stable
+            if (pred_state & on_stable) != on_stable:
+                continue
+            if (~pred_state & off_stable) != off_stable:
+                continue
+            if watched & pending_predicates:
+                return TriggerOutcome(TriggerKind.PREDICATE_HAZARD, d.index)
+            if forbid_side_effects and d.side_effects:
+                return TriggerOutcome(TriggerKind.FORBIDDEN, d.index)
+            return TriggerOutcome(TriggerKind.FIRED, d.index)
+        return TriggerOutcome(TriggerKind.NONE_TRIGGERED)
+
     def triggered_indices(
         self,
         instructions: list[Instruction],
         pred_state: int,
         view: QueueStatusView,
+        pending_predicates: int = 0,
     ) -> list[int]:
-        """All instruction slots whose triggers are satisfied (telemetry)."""
+        """All instruction slots whose triggers are satisfied (telemetry).
+
+        Honors ``pending_predicates`` the way issue does: a slot whose
+        trigger inspects a predicate with an in-flight write has
+        *unknown* eligibility and is not reported as triggered, rather
+        than pending bits being silently read as stable.
+        """
         return [
             index
             for index, ins in enumerate(instructions)
-            if self._eligibility(ins, pred_state, view, 0) is _Eligibility.TRIGGERED
+            if self._eligibility(ins, pred_state, view, pending_predicates)
+            is _Eligibility.TRIGGERED
         ]
 
     def _eligibility(

@@ -1,0 +1,182 @@
+"""Compiled trigger descriptors — the scheduler's fast path.
+
+Trigger resolution is the critical path of a triggered PE (paper
+Section 4), and it is also the innermost loop of the simulator: every
+cycle the scheduler re-derives each instruction's eligibility from the
+:class:`~repro.isa.instruction.Instruction` dataclasses — enum
+comparisons, property calls that rebuild frozensets, attribute chases
+through ``ins.trigger`` and ``ins.dp``.  None of that varies after
+``load_program``.
+
+This module lowers each instruction's trigger once, at program-load
+time, into a flat :class:`CompiledTrigger` descriptor of plain integers
+and tuples.  Per-cycle eligibility then reduces to integer mask tests
+and small tuple walks with no dataclass traffic.  The compiled form is
+semantically exact: for every (predicate state, queue status, pending
+mask) the scheduler's compiled path returns bit-for-bit the same
+:class:`~repro.arch.scheduler.TriggerOutcome` as the reference path
+over the original instructions — the differential suite in
+``tests/test_pipeline_equivalence.py`` holds both paths to that.
+
+A :class:`CompiledProgram` remembers the instruction list it was
+compiled from (by identity), so holders can cheaply detect staleness
+after a reload.
+"""
+
+from __future__ import annotations
+
+from repro.isa.alu import _SEMANTICS
+from repro.isa.instruction import DestinationType, Instruction, OperandType
+from repro.params import ArchParams
+
+
+class CompiledTrigger:
+    """One instruction's trigger, lowered to flat integers and tuples.
+
+    Fields mirror exactly what :meth:`Scheduler._eligibility` inspects:
+
+    * ``index`` — the instruction's priority slot (descriptors for
+      invalid slots are dropped at compile time, so the compiled walk
+      skips them for free while reporting original indices);
+    * ``pred_on`` / ``pred_off`` / ``watched`` — predicate bitmasks
+      (``watched = pred_on | pred_off`` precomputed);
+    * ``required_queues`` — input queues that must be non-empty (the
+      union of trigger-checked, operand-read and dequeued queues);
+    * ``tag_checks`` — ``(queue, tag, negate)`` triples against the
+      effective head tag;
+    * ``out_queue`` — output queue needing a free slot, or ``-1``;
+    * ``side_effects`` — whether issue is forbidden during speculation
+      (pre-retirement side effects, i.e. dequeues).
+    """
+
+    __slots__ = (
+        "index",
+        "pred_on",
+        "pred_off",
+        "watched",
+        "required_queues",
+        "tag_checks",
+        "out_queue",
+        "side_effects",
+    )
+
+    def __init__(self, index: int, ins: Instruction) -> None:
+        trigger = ins.trigger
+        self.index = index
+        self.pred_on = trigger.pred_on
+        self.pred_off = trigger.pred_off
+        self.watched = trigger.pred_on | trigger.pred_off
+        self.required_queues = tuple(sorted(ins.required_input_queues))
+        self.tag_checks = tuple(
+            (check.queue, check.tag, check.negate)
+            for check in trigger.tag_checks
+        )
+        out = ins.output_queue
+        self.out_queue = -1 if out is None else out
+        self.side_effects = ins.dp.has_side_effects_before_retire
+
+
+class CompiledProgram:
+    """The compiled descriptors of one PE's instruction store."""
+
+    __slots__ = ("source", "descriptors")
+
+    def __init__(self, instructions: list[Instruction]) -> None:
+        self.source = instructions
+        self.descriptors: tuple[CompiledTrigger, ...] = tuple(
+            CompiledTrigger(index, ins)
+            for index, ins in enumerate(instructions)
+            if ins.valid
+        )
+
+    def matches(self, instructions: list[Instruction]) -> bool:
+        """Whether this compilation still describes ``instructions``."""
+        return self.source is instructions
+
+    def __len__(self) -> int:
+        return len(self.descriptors)
+
+
+def compile_program(instructions: list[Instruction]) -> CompiledProgram:
+    """Lower a program's triggers for the scheduler fast path."""
+    return CompiledProgram(instructions)
+
+
+# Operand plan codes (CompiledDatapath.operand_plan): the payload is a
+# literal value for LIT (NONE reads zero, IMM is pre-masked), a register
+# index for REG, an input-queue index for IN.
+LIT = 0
+REG = 1
+IN = 2
+
+# Destination codes; values deliberately equal DestinationType.*.value.
+DST_NONE = DestinationType.NONE.value
+DST_REG = DestinationType.REG.value
+DST_OUT = DestinationType.OUT.value
+DST_PRED = DestinationType.PRED.value
+
+
+class CompiledDatapath:
+    """One instruction's datapath half, lowered for the simulators.
+
+    Issue, operand capture, hazard checks and retirement all chase
+    ``ins.dp`` enums and properties on every cycle an instruction is in
+    flight; this flattens everything they read into plain ints and
+    tuples once at program-load time.
+    """
+
+    __slots__ = (
+        "op",
+        "semantics",
+        "late_result",
+        "is_halt",
+        "operand_plan",
+        "reg_srcs",
+        "deq",
+        "dst_kind",
+        "dst_index",
+        "out_tag",
+        "out_queue",
+        "pred_update",
+        "writes_reg",
+        "writes_pred",
+    )
+
+    def __init__(self, ins: Instruction, params: ArchParams) -> None:
+        dp = ins.dp
+        self.op = dp.op
+        # May be None for an op with no defined semantics; executors fall
+        # back to alu_execute, which raises the canonical error.
+        self.semantics = _SEMANTICS.get(dp.op.mnemonic)
+        self.late_result = dp.op.late_result
+        self.is_halt = dp.op.mnemonic == "halt"
+        plan = []
+        for src in dp.srcs:
+            if src.kind is OperandType.REG:
+                plan.append((REG, src.index))
+            elif src.kind is OperandType.IN:
+                plan.append((IN, src.index))
+            elif src.kind is OperandType.IMM:
+                plan.append((LIT, dp.imm & params.word_mask))
+            else:
+                plan.append((LIT, 0))
+        while len(plan) < 2:
+            plan.append((LIT, 0))
+        self.operand_plan = tuple(plan)
+        self.reg_srcs = tuple(index for code, index in plan if code == REG)
+        self.deq = dp.deq
+        dst = dp.dst
+        self.dst_kind = dst.kind.value
+        self.dst_index = dst.index
+        self.out_tag = dst.out_tag
+        self.out_queue = dst.index if dst.kind is DestinationType.OUT else -1
+        self.pred_update = dp.pred_update
+        self.writes_reg = dst.kind is DestinationType.REG
+        self.writes_pred = dst.kind is DestinationType.PRED
+
+
+def compile_datapaths(
+    instructions: list[Instruction], params: ArchParams
+) -> list[CompiledDatapath]:
+    """Lower every slot's datapath (invalid slots included, by position)."""
+    return [CompiledDatapath(ins, params) for ins in instructions]

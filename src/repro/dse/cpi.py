@@ -6,17 +6,90 @@ ten Table 3 workloads, counters read from the designated worker PE,
 averaged — exactly how Figure 5's stacks are built.  Results are cached
 in memory and optionally on disk, because a full 32-config campaign is
 the expensive part of regenerating Figures 6-8.
+
+The campaign is embarrassingly parallel across configs — nothing is
+shared between two microarchitectures' simulations — so
+:meth:`CpiTable.populate` fans the per-config work across a process
+pool (see :mod:`repro.parallel` for the worker-count policy and the
+``REPRO_SERIAL`` escape hatch).  Parallel and serial populations
+produce identical tables: the per-config worker is a pure function of
+``(config, scale, seed, params)``.
+
+The disk cache is keyed by a fingerprint over everything the numbers
+depend on (scale, seed, every architectural parameter, and the config
+set), so a stale cache written at another scale or under edited
+parameters can never be mistaken for current results.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
 import os
 
+from repro.parallel import parallel_map
 from repro.params import ArchParams, DEFAULT_PARAMS
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.core import PipelinedPE
 from repro.workloads.suite import WORKLOADS, run_workload
+
+
+def table_fingerprint(
+    scale: int,
+    seed: int,
+    params: ArchParams,
+    configs: list[PipelineConfig] | None = None,
+) -> str:
+    """Digest of every input the cached CPI numbers depend on."""
+    blob = json.dumps(
+        {
+            "scale": scale,
+            "seed": seed,
+            "params": dataclasses.asdict(params),
+            "configs": (
+                None if configs is None else sorted(c.name for c in configs)
+            ),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def _campaign(
+    config: PipelineConfig, scale: int, seed: int, params: ArchParams
+) -> tuple[float, dict[str, float]]:
+    """Run all workloads under one config; workload-average (CPI, stack)."""
+
+    def factory(name: str) -> PipelinedPE:
+        return PipelinedPE(config, params, name=name)
+
+    totals: dict[str, float] = {}
+    cpi_sum = 0.0
+    names = WORKLOADS()
+    for workload in names:
+        run = run_workload(
+            workload, make_pe=factory, scale=scale, seed=seed, params=params,
+        )
+        counters = run.worker_counters
+        counters.check_consistency()
+        cpi_sum += counters.cpi
+        for key, value in counters.stack().items():
+            totals[key] = totals.get(key, 0.0) + value
+    return (
+        cpi_sum / len(names),
+        {key: value / len(names) for key, value in totals.items()},
+    )
+
+
+def _simulate_config(
+    task: tuple[PipelineConfig, int, int, ArchParams],
+) -> tuple[str, float, dict[str, float]]:
+    """Process-pool worker: one config's full campaign (module level so
+    it pickles)."""
+    config, scale, seed, params = task
+    cpi, stack = _campaign(config, scale, seed, params)
+    return config.name, cpi, stack
 
 
 class CpiTable:
@@ -28,53 +101,63 @@ class CpiTable:
         seed: int = 0,
         params: ArchParams = DEFAULT_PARAMS,
         cache_path: str | None = None,
+        configs: list[PipelineConfig] | None = None,
     ) -> None:
         self.scale = scale
         self.seed = seed
         self.params = params
         self.cache_path = cache_path
+        self.fingerprint = table_fingerprint(scale, seed, params, configs)
         self._cpi: dict[str, float] = {}
         self._stacks: dict[str, dict[str, float]] = {}
         if cache_path and os.path.exists(cache_path):
             with open(cache_path, encoding="utf-8") as handle:
                 payload = json.load(handle)
-            if payload.get("scale") == scale and payload.get("seed") == seed:
+            if payload.get("fingerprint") == self.fingerprint:
                 self._cpi = payload["cpi"]
                 self._stacks = payload["stacks"]
 
-    def _simulate(self, config: PipelineConfig) -> None:
-        def factory(name: str) -> PipelinedPE:
-            return PipelinedPE(config, self.params, name=name)
-
-        totals: dict[str, float] = {}
-        cpi_sum = 0.0
-        names = WORKLOADS()
-        for workload in names:
-            run = run_workload(
-                workload, make_pe=factory, scale=self.scale, seed=self.seed,
-                params=self.params,
+    def _save(self) -> None:
+        if not self.cache_path:
+            return
+        with open(self.cache_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "fingerprint": self.fingerprint,
+                    "scale": self.scale,
+                    "seed": self.seed,
+                    "cpi": self._cpi,
+                    "stacks": self._stacks,
+                },
+                handle,
+                indent=1,
             )
-            counters = run.worker_counters
-            counters.check_consistency()
-            cpi_sum += counters.cpi
-            for key, value in counters.stack().items():
-                totals[key] = totals.get(key, 0.0) + value
-        self._cpi[config.name] = cpi_sum / len(names)
-        self._stacks[config.name] = {
-            key: value / len(names) for key, value in totals.items()
-        }
-        if self.cache_path:
-            with open(self.cache_path, "w", encoding="utf-8") as handle:
-                json.dump(
-                    {
-                        "scale": self.scale,
-                        "seed": self.seed,
-                        "cpi": self._cpi,
-                        "stacks": self._stacks,
-                    },
-                    handle,
-                    indent=1,
-                )
+
+    def populate(
+        self,
+        configs: list[PipelineConfig],
+        workers: int | None = None,
+    ) -> None:
+        """Simulate every config not already in the table, in parallel.
+
+        Results are identical to serial lazy evaluation (the worker is a
+        pure function and results are merged in input order); the disk
+        cache is written once at the end rather than per config.
+        """
+        missing = [c for c in configs if c.name not in self._cpi]
+        if not missing:
+            return
+        tasks = [(c, self.scale, self.seed, self.params) for c in missing]
+        for name, cpi, stack in parallel_map(_simulate_config, tasks, workers):
+            self._cpi[name] = cpi
+            self._stacks[name] = stack
+        self._save()
+
+    def _simulate(self, config: PipelineConfig) -> None:
+        cpi, stack = _campaign(config, self.scale, self.seed, self.params)
+        self._cpi[config.name] = cpi
+        self._stacks[config.name] = stack
+        self._save()
 
     def cpi(self, config: PipelineConfig) -> float:
         """Workload-average worker CPI for one microarchitecture."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 from repro.dse.cpi import CpiTable
 from repro.dse.design_point import DesignPoint
 from repro.errors import SynthesisError
+from repro.parallel import parallel_map
 from repro.pipeline.config import PipelineConfig, all_configs
 from repro.vlsi.synthesis import fmax, synthesize
 from repro.vlsi.technology import TECH65, Technology, VtFlavor
@@ -44,29 +45,59 @@ def frequency_grid(vt: VtFlavor, vdd: float) -> list[float]:
     return sorted(targets)
 
 
+def _close_config(
+    task: tuple[PipelineConfig, float, Technology, bool],
+) -> list[DesignPoint]:
+    """Process-pool worker: close one config's (VT, VDD, f) grid.
+
+    Module level so it pickles; the point order within a config is the
+    serial loop's order, so config-major concatenation of the per-config
+    lists reproduces the serial sweep exactly.
+    """
+    config, cpi, tech, include_fmax_points = task
+    points: list[DesignPoint] = []
+    for vt in VtFlavor:
+        for vdd in voltage_grid(vt):
+            targets = list(frequency_grid(vt, vdd))
+            if include_fmax_points:
+                targets.append(fmax(config, vdd, vt, tech))
+            for f_target in targets:
+                try:
+                    result = synthesize(config, vdd, vt, f_target, tech)
+                except SynthesisError:
+                    continue
+                points.append(DesignPoint(synthesis=result, cpi=cpi))
+    return points
+
+
 def sweep(
     configs: list[PipelineConfig] | None = None,
     cpi_table: CpiTable | None = None,
     tech: Technology = TECH65,
     include_fmax_points: bool = True,
+    workers: int | None = None,
 ) -> list[DesignPoint]:
-    """Close every feasible design point in the characterized space."""
+    """Close every feasible design point in the characterized space.
+
+    The per-config work (the CPI campaign and the synthesis grid) fans
+    out across a process pool; ``workers`` follows the
+    :func:`repro.parallel.resolve_workers` policy (``REPRO_SERIAL=1``
+    forces the in-process serial path).  The returned point list is
+    identical at any worker count.
+    """
     if configs is None:
         configs = all_configs()
     if cpi_table is None:
         cpi_table = CpiTable()
+    # Fill the CPI table first (parallel across configs) so the closure
+    # tasks below are cheap, pure and picklable.
+    cpi_table.populate(configs, workers=workers)
+    tasks = [
+        (config, cpi_table.cpi(config), tech, include_fmax_points)
+        for config in configs
+    ]
+    per_config = parallel_map(_close_config, tasks, workers)
     points: list[DesignPoint] = []
-    for config in configs:
-        cpi = cpi_table.cpi(config)
-        for vt in VtFlavor:
-            for vdd in voltage_grid(vt):
-                targets = list(frequency_grid(vt, vdd))
-                if include_fmax_points:
-                    targets.append(fmax(config, vdd, vt, tech))
-                for f_target in targets:
-                    try:
-                        result = synthesize(config, vdd, vt, f_target, tech)
-                    except SynthesisError:
-                        continue
-                    points.append(DesignPoint(synthesis=result, cpi=cpi))
+    for sublist in per_config:
+        points.extend(sublist)
     return points

@@ -31,6 +31,7 @@ class System:
         self.write_ports: list[MemoryWritePort] = []
         self.lsqs: list[LoadStoreQueue] = []
         self.cycles = 0
+        self._channels: list[TaggedQueue] | None = None   # cached wiring
 
     # ------------------------------------------------------------------
     # Construction
@@ -41,6 +42,15 @@ class System:
         if any(existing.name == pe.name for existing in self.pes):
             raise ConfigError(f"duplicate PE name {pe.name!r}")
         self.pes.append(pe)
+        self._channels = None
+
+    def _rewired(self, *pes) -> None:
+        """Invalidate caches that depend on the current queue wiring."""
+        self._channels = None
+        for pe in pes:
+            invalidate = getattr(pe, "invalidate_schedule_cache", None)
+            if invalidate is not None:
+                invalidate()
 
     def pe(self, name: str):
         """Look up a PE by name."""
@@ -57,6 +67,7 @@ class System:
         )
         producer.outputs[out_index] = channel
         consumer.inputs[in_index] = channel
+        self._rewired(producer, consumer)
         return channel
 
     def add_read_port(self, pe, request_out: int, response_in: int) -> MemoryReadPort:
@@ -71,6 +82,7 @@ class System:
         port.request = request
         port.response = response
         self.read_ports.append(port)
+        self._rewired(pe)
         return port
 
     def add_write_port(self, addr_pe, addr_out: int, data_pe, data_out: int) -> MemoryWritePort:
@@ -87,6 +99,7 @@ class System:
         port.address = address
         port.data = data
         self.write_ports.append(port)
+        self._rewired(addr_pe, data_pe)
         return port
 
     def add_load_store_queue(
@@ -121,6 +134,7 @@ class System:
         pe.outputs[store_address_out] = lsq.store_address
         pe.outputs[store_data_out] = lsq.store_data
         self.lsqs.append(lsq)
+        self._rewired(pe)
         return lsq
 
     # ------------------------------------------------------------------
@@ -128,6 +142,11 @@ class System:
     # ------------------------------------------------------------------
 
     def _all_channels(self) -> list[TaggedQueue]:
+        """Every distinct channel in the system (cached; wiring methods
+        invalidate).  Rebuilding this dict per cycle dominated the run
+        loop's own overhead on multi-PE workloads."""
+        if self._channels is not None:
+            return self._channels
         seen: dict[int, TaggedQueue] = {}
         for pe in self.pes:
             for queue in list(pe.inputs) + list(pe.outputs):
@@ -145,7 +164,8 @@ class System:
                           lsq.store_address, lsq.store_data):
                 if queue is not None:
                     seen[id(queue)] = queue
-        return list(seen.values())
+        self._channels = list(seen.values())
+        return self._channels
 
     @property
     def all_halted(self) -> bool:
@@ -173,7 +193,8 @@ class System:
             if busy_before:
                 progressed = True
         for channel in self._all_channels():
-            channel.commit()
+            if channel._staged:
+                channel.commit()
         self.cycles += 1
         return progressed
 

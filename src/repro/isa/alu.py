@@ -18,7 +18,7 @@ from repro.isa.opcodes import Op
 from repro.params import ArchParams
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AluResult:
     """Outcome of executing one operation's datapath."""
 
@@ -60,6 +60,94 @@ def _brev(x: int, width: int) -> int:
     return result
 
 
+def _lsw(a, b, p, mask, w, spad):
+    if spad is None:
+        raise SimulationError("lsw executed on a PE without a scratchpad")
+    return AluResult(value=spad.load(a) & mask)
+
+
+def _ssw(a, b, p, mask, w, spad):
+    if spad is None:
+        raise SimulationError("ssw executed on a PE without a scratchpad")
+    return AluResult(store=(a, b))
+
+
+def _rol(a, b, p, mask, w, spad):
+    s = b % w
+    return AluResult(value=((a << s) | (a >> (w - s))) & mask if s else a)
+
+
+def _ror(a, b, p, mask, w, spad):
+    s = b % w
+    return AluResult(value=((a >> s) | (a << (w - s))) & mask if s else a)
+
+
+def _sext8(a, b, p, mask, w, spad):
+    v = a & 0xFF
+    return AluResult(value=(v | (mask ^ 0xFF)) & mask if v & 0x80 else v)
+
+
+def _sext16(a, b, p, mask, w, spad):
+    v = a & 0xFFFF
+    return AluResult(value=(v | (mask ^ 0xFFFF)) & mask if v & 0x8000 else v)
+
+
+# Dispatch table: one callable per mnemonic with the uniform signature
+# (a, b, params, mask, w, scratchpad) -> AluResult.  Table lookup
+# replaced a linear mnemonic-comparison chain whose worst case walked
+# ~40 string compares per executed instruction.
+_SEMANTICS = {
+    "nop": lambda a, b, p, mask, w, s: AluResult(),
+    "halt": lambda a, b, p, mask, w, s: AluResult(halt=True),
+    "mov": lambda a, b, p, mask, w, s: AluResult(value=a),
+    "add": lambda a, b, p, mask, w, s: AluResult(value=(a + b) & mask),
+    "sub": lambda a, b, p, mask, w, s: AluResult(value=(a - b) & mask),
+    "mul": lambda a, b, p, mask, w, s: AluResult(value=(a * b) & mask),
+    "mulh": lambda a, b, p, mask, w, s: AluResult(
+        value=((to_signed(a, p) * to_signed(b, p)) >> w) & mask),
+    "mulhu": lambda a, b, p, mask, w, s: AluResult(value=((a * b) >> w) & mask),
+    "and": lambda a, b, p, mask, w, s: AluResult(value=a & b),
+    "or": lambda a, b, p, mask, w, s: AluResult(value=a | b),
+    "xor": lambda a, b, p, mask, w, s: AluResult(value=a ^ b),
+    "nor": lambda a, b, p, mask, w, s: AluResult(value=~(a | b) & mask),
+    "nand": lambda a, b, p, mask, w, s: AluResult(value=~(a & b) & mask),
+    "xnor": lambda a, b, p, mask, w, s: AluResult(value=~(a ^ b) & mask),
+    "not": lambda a, b, p, mask, w, s: AluResult(value=~a & mask),
+    "shl": lambda a, b, p, mask, w, s: AluResult(value=(a << (b % w)) & mask),
+    "shr": lambda a, b, p, mask, w, s: AluResult(value=(a >> (b % w)) & mask),
+    "asr": lambda a, b, p, mask, w, s: AluResult(
+        value=(to_signed(a, p) >> (b % w)) & mask),
+    "rol": _rol,
+    "ror": _ror,
+    "clz": lambda a, b, p, mask, w, s: AluResult(value=_clz(a, w)),
+    "ctz": lambda a, b, p, mask, w, s: AluResult(value=_ctz(a, w)),
+    "popc": lambda a, b, p, mask, w, s: AluResult(value=bin(a).count("1")),
+    "brev": lambda a, b, p, mask, w, s: AluResult(value=_brev(a, w)),
+    "sext8": _sext8,
+    "sext16": _sext16,
+    "eq": lambda a, b, p, mask, w, s: AluResult(value=int(a == b)),
+    "ne": lambda a, b, p, mask, w, s: AluResult(value=int(a != b)),
+    "slt": lambda a, b, p, mask, w, s: AluResult(
+        value=int(to_signed(a, p) < to_signed(b, p))),
+    "sle": lambda a, b, p, mask, w, s: AluResult(
+        value=int(to_signed(a, p) <= to_signed(b, p))),
+    "sgt": lambda a, b, p, mask, w, s: AluResult(
+        value=int(to_signed(a, p) > to_signed(b, p))),
+    "sge": lambda a, b, p, mask, w, s: AluResult(
+        value=int(to_signed(a, p) >= to_signed(b, p))),
+    "ult": lambda a, b, p, mask, w, s: AluResult(value=int(a < b)),
+    "ule": lambda a, b, p, mask, w, s: AluResult(value=int(a <= b)),
+    "ugt": lambda a, b, p, mask, w, s: AluResult(value=int(a > b)),
+    "uge": lambda a, b, p, mask, w, s: AluResult(value=int(a >= b)),
+    "eqz": lambda a, b, p, mask, w, s: AluResult(value=int(a == 0)),
+    "nez": lambda a, b, p, mask, w, s: AluResult(value=int(a != 0)),
+    "land": lambda a, b, p, mask, w, s: AluResult(value=int(bool(a) and bool(b))),
+    "lor": lambda a, b, p, mask, w, s: AluResult(value=int(bool(a) or bool(b))),
+    "lsw": _lsw,
+    "ssw": _ssw,
+}
+
+
 def alu_execute(
     op: Op,
     a: int,
@@ -72,104 +160,8 @@ def alu_execute(
     ``scratchpad`` must support ``load(addr)`` / ``store(addr, value)``
     and is only consulted for the memory operations.
     """
-    w = params.word_width
+    semantics = _SEMANTICS.get(op.mnemonic)
+    if semantics is None:
+        raise SimulationError(f"operation {op.mnemonic!r} has no defined semantics")
     mask = params.word_mask
-    a &= mask
-    b &= mask
-    m = op.mnemonic
-
-    if m == "nop":
-        return AluResult()
-    if m == "halt":
-        return AluResult(halt=True)
-    if m == "mov":
-        return AluResult(value=a)
-    if m == "add":
-        return AluResult(value=(a + b) & mask)
-    if m == "sub":
-        return AluResult(value=(a - b) & mask)
-    if m == "mul":
-        return AluResult(value=(a * b) & mask)
-    if m == "mulh":
-        sa, sb = to_signed(a, params), to_signed(b, params)
-        return AluResult(value=((sa * sb) >> w) & mask)
-    if m == "mulhu":
-        return AluResult(value=((a * b) >> w) & mask)
-    if m == "and":
-        return AluResult(value=a & b)
-    if m == "or":
-        return AluResult(value=a | b)
-    if m == "xor":
-        return AluResult(value=a ^ b)
-    if m == "nor":
-        return AluResult(value=~(a | b) & mask)
-    if m == "nand":
-        return AluResult(value=~(a & b) & mask)
-    if m == "xnor":
-        return AluResult(value=~(a ^ b) & mask)
-    if m == "not":
-        return AluResult(value=~a & mask)
-    if m == "shl":
-        return AluResult(value=(a << (b % w)) & mask)
-    if m == "shr":
-        return AluResult(value=(a >> (b % w)) & mask)
-    if m == "asr":
-        return AluResult(value=(to_signed(a, params) >> (b % w)) & mask)
-    if m == "rol":
-        s = b % w
-        return AluResult(value=((a << s) | (a >> (w - s))) & mask if s else a)
-    if m == "ror":
-        s = b % w
-        return AluResult(value=((a >> s) | (a << (w - s))) & mask if s else a)
-    if m == "clz":
-        return AluResult(value=_clz(a, w))
-    if m == "ctz":
-        return AluResult(value=_ctz(a, w))
-    if m == "popc":
-        return AluResult(value=bin(a).count("1"))
-    if m == "brev":
-        return AluResult(value=_brev(a, w))
-    if m == "sext8":
-        v = a & 0xFF
-        return AluResult(value=(v | (mask ^ 0xFF)) & mask if v & 0x80 else v)
-    if m == "sext16":
-        v = a & 0xFFFF
-        return AluResult(value=(v | (mask ^ 0xFFFF)) & mask if v & 0x8000 else v)
-    if m == "eq":
-        return AluResult(value=int(a == b))
-    if m == "ne":
-        return AluResult(value=int(a != b))
-    if m == "slt":
-        return AluResult(value=int(to_signed(a, params) < to_signed(b, params)))
-    if m == "sle":
-        return AluResult(value=int(to_signed(a, params) <= to_signed(b, params)))
-    if m == "sgt":
-        return AluResult(value=int(to_signed(a, params) > to_signed(b, params)))
-    if m == "sge":
-        return AluResult(value=int(to_signed(a, params) >= to_signed(b, params)))
-    if m == "ult":
-        return AluResult(value=int(a < b))
-    if m == "ule":
-        return AluResult(value=int(a <= b))
-    if m == "ugt":
-        return AluResult(value=int(a > b))
-    if m == "uge":
-        return AluResult(value=int(a >= b))
-    if m == "eqz":
-        return AluResult(value=int(a == 0))
-    if m == "nez":
-        return AluResult(value=int(a != 0))
-    if m == "land":
-        return AluResult(value=int(bool(a) and bool(b)))
-    if m == "lor":
-        return AluResult(value=int(bool(a) or bool(b)))
-    if m == "lsw":
-        if scratchpad is None:
-            raise SimulationError("lsw executed on a PE without a scratchpad")
-        return AluResult(value=scratchpad.load(a) & mask)
-    if m == "ssw":
-        if scratchpad is None:
-            raise SimulationError("ssw executed on a PE without a scratchpad")
-        return AluResult(store=(a, b))
-
-    raise SimulationError(f"operation {m!r} has no defined semantics")
+    return semantics(a & mask, b & mask, params, mask, params.word_width, scratchpad)

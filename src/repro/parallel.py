@@ -1,0 +1,72 @@
+"""Deterministic process-level parallelism for simulation campaigns.
+
+The CPI campaign and the design-space sweep are embarrassingly parallel
+across microarchitectures: each config's simulation shares nothing with
+the others, and every input (configs, parameters, workload generators)
+is a frozen dataclass or pure function of the seed.  This module is the
+one place that decides *whether* to fan out and *how wide*, so every
+campaign obeys the same two environment switches:
+
+* ``REPRO_SERIAL=1`` — force in-process serial execution (useful under
+  debuggers, coverage, and profilers, and the documented escape hatch
+  when process pools are unavailable);
+* ``REPRO_WORKERS=N`` — cap the pool size without touching call sites.
+
+:func:`parallel_map` preserves input order, so a campaign produces
+byte-identical results at any worker count — the differential tests in
+``tests/test_parallel.py`` hold it to that.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from typing import TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve an effective worker count (always at least 1).
+
+    Precedence: ``REPRO_SERIAL`` (forces 1) > explicit ``workers``
+    argument > ``REPRO_WORKERS`` > ``os.cpu_count()``.
+    """
+    if os.environ.get("REPRO_SERIAL"):
+        return 1
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS")
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                workers = None
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    workers: int | None = None,
+) -> list[_R]:
+    """Map ``fn`` over ``items``, preserving input order.
+
+    Runs serially in-process when the resolved worker count is 1 (or
+    there is at most one item); otherwise fans out over a
+    ``ProcessPoolExecutor``.  ``fn`` and every item must be picklable in
+    the parallel case — which is why the campaign workers live at module
+    level in :mod:`repro.dse.cpi` and :mod:`repro.dse.sweep`.
+    """
+    work: Sequence[_T] = list(items)
+    count = min(resolve_workers(workers), len(work))
+    if count <= 1:
+        return [fn(item) for item in work]
+    # Imported lazily: the serial path must work even where process
+    # pools cannot (restricted sandboxes without semaphores).
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=count) as pool:
+        return list(pool.map(fn, work))

@@ -40,40 +40,60 @@ from repro.arch.queue import TaggedQueue
 from repro.arch.regfile import RegisterFile
 from repro.arch.scheduler import Scheduler, TriggerKind
 from repro.arch.scratchpad import Scratchpad
+from repro.arch.trigger_cache import (
+    DST_OUT,
+    DST_PRED,
+    DST_REG,
+    IN,
+    LIT,
+    REG,
+    CompiledDatapath,
+    compile_datapaths,
+    compile_program,
+)
 from repro.errors import SimulationError
 from repro.isa.alu import AluResult, alu_execute
-from repro.isa.instruction import DestinationType, Instruction, OperandType
+from repro.isa.instruction import Instruction
 from repro.params import ArchParams, DEFAULT_PARAMS
 from repro.pipeline.config import PipelineConfig, QueuePolicy, SINGLE_CYCLE
 from repro.pipeline.counters import PipelineCounters
 from repro.pipeline.predictor import PredicatePredictor
 from repro.pipeline.queue_status import InFlightQueueState, make_queue_view
 
+_DECISION_CACHE_LIMIT = 1 << 16
+"""Entries kept in the memoized trigger-decision cache before it is
+dropped wholesale (decision spaces are tiny in practice; the bound only
+guards degenerate programs)."""
 
-@dataclass
+
 class _InFlight:
     """One instruction travelling down the pipe."""
 
-    ins: Instruction
-    slot: int
-    seq: int
-    stage: int
-    captured: bool = False
-    operands: tuple[int, int] = (0, 0)
-    result: AluResult | None = None
-    result_ready: bool = False
-    pred_committed: bool = False   # predicate write already applied (+P)
+    __slots__ = (
+        "ins", "meta", "slot", "seq", "stage", "captured", "operands",
+        "result", "result_ready", "pred_committed", "writes_reg",
+        "writes_pred",
+    )
 
-    @property
-    def writes_reg(self) -> bool:
-        return self.ins.dp.dst.kind is DestinationType.REG
+    def __init__(self, ins: Instruction, meta: CompiledDatapath, slot: int,
+                 seq: int, stage: int) -> None:
+        self.ins = ins
+        self.meta = meta
+        self.slot = slot
+        self.seq = seq
+        self.stage = stage
+        self.captured = False
+        self.operands = (0, 0)
+        self.result: AluResult | None = None
+        self.result_ready = False
+        self.pred_committed = False   # predicate write already applied (+P)
+        # Destination kind, flattened once at issue — these are chased
+        # every cycle by hazard checks, where enum traffic is measurable.
+        self.writes_reg = meta.writes_reg
+        self.writes_pred = meta.writes_pred
 
-    @property
-    def writes_pred(self) -> bool:
-        return self.ins.dp.writes_predicate
 
-
-@dataclass
+@dataclass(slots=True)
 class _Speculation:
     """One outstanding predicate prediction."""
 
@@ -93,6 +113,7 @@ class PipelinedPE:
         name: str = "pe",
         has_scratchpad: bool = True,
         initial_predicates: int = 0,
+        fast_path: bool = True,
     ) -> None:
         self.config = config
         self.params = params
@@ -126,6 +147,26 @@ class PipelinedPE:
         self._specs: list[_Speculation] = []
         self._next_seq = 0
         self._halt_pending = False
+        # Stage indices are immutable per config but cost a property-chain
+        # walk per access; flatten them once.
+        self._depth = config.depth
+        self._decode_stage = config.decode_stage
+        self._early_stage = config.early_result_stage
+        self._late_stage = config.late_result_stage
+        self._predicts = config.predicate_prediction
+        self._spec_depth = config.speculative_depth
+        # One queue-status view per PE, reading live state — rebuilding it
+        # every cycle was pure allocation churn.
+        self._view = make_queue_view(config, self.inputs, self.outputs,
+                                     self._queue_state)
+        # Fast path: triggers compiled at load time plus a memoized
+        # trigger decision keyed on everything `evaluate` can observe.
+        self.fast_path = fast_path
+        self._compiled = None
+        self._dp_meta: list[CompiledDatapath] = []
+        self._decision_cache: dict[tuple, object] = {}
+        self._state_version = 0   # bumps when in-flight queue bookings change
+        self._sig_queues = self.inputs + self.outputs
 
     # ------------------------------------------------------------------
     # Host interface
@@ -141,6 +182,20 @@ class PipelinedPE:
             if ins.valid:
                 ins.validate(self.params)
         self.instructions = list(instructions)
+        self._compiled = compile_program(self.instructions) if self.fast_path else None
+        self._dp_meta = compile_datapaths(self.instructions, self.params)
+        self._decision_cache.clear()
+
+    def invalidate_schedule_cache(self) -> None:
+        """Drop memoized trigger decisions (call after external rewiring).
+
+        Queue-version signatures are only monotone for the queue objects
+        the PE currently holds; swapping a queue object (as fabric wiring
+        does) could otherwise let a stale signature alias a new state.
+        """
+        self._decision_cache.clear()
+        self._state_version += 1
+        self._sig_queues = self.inputs + self.outputs
 
     def reset(self) -> None:
         for queue in self.inputs:
@@ -159,12 +214,13 @@ class PipelinedPE:
         self._specs = []
         self._next_seq = 0
         self._halt_pending = False
+        self._decision_cache.clear()
+        self._state_version += 1
 
     def commit_queues(self) -> None:
-        for queue in self.inputs:
-            queue.commit()
-        for queue in self.outputs:
-            queue.commit()
+        for queue in self._sig_queues:
+            if queue._staged:
+                queue.commit()
 
     # ------------------------------------------------------------------
     # Simulation
@@ -175,19 +231,19 @@ class PipelinedPE:
         if self.halted:
             return False
         self.counters.cycles += 1
-        config = self.config
-        depth = config.depth
+        depth = self._depth
+        decode_stage = self._decode_stage
+        pipe = self._pipe
         progressed = False
-        data_stall = False
 
         # 1. Advance the pipe back to front; retire from the last stage.
         for stage in reversed(range(depth)):
-            entry = self._pipe[stage]
+            entry = pipe[stage]
             if entry is None:
                 continue
             if stage == depth - 1:
                 self._retire(entry)
-                self._pipe[stage] = None
+                pipe[stage] = None
                 progressed = True
                 if self.halted:
                     # The halting cycle issues nothing; keep the CPI stack
@@ -195,54 +251,79 @@ class PipelinedPE:
                     self.counters.none_triggered_cycles += 1
                     return True
                 continue
-            if self._pipe[stage + 1] is not None:
+            if pipe[stage + 1] is not None:
                 continue  # structural stall behind a blocked stage
-            if stage == config.decode_stage and not entry.captured:
+            if stage == decode_stage and not entry.captured:
                 continue  # data hazard: operands not captured yet
-            self._pipe[stage] = None
+            pipe[stage] = None
             entry.stage = stage + 1
-            self._pipe[stage + 1] = entry
+            pipe[stage + 1] = entry
 
         # 2. End-of-stage work: operand capture in D, results where due.
-        decode_entry = self._pipe[config.decode_stage]
+        decode_entry = pipe[decode_stage]
         if decode_entry is not None and not decode_entry.captured:
             if self._operands_ready(decode_entry):
                 self._capture(decode_entry)
-            else:
-                data_stall = True
         # Oldest first: a mispredicting owner must flush younger entries
         # before any of them commits an early predicate write of its own.
-        for entry in reversed(self._pipe):
+        for entry in reversed(pipe):
             if entry is None or entry.result_ready or not entry.captured:
                 continue
-            late = entry.ins.dp.op.late_result
-            if entry.stage >= config.result_stage(late):
+            if entry.stage >= (
+                self._late_stage if entry.meta.late_result else self._early_stage
+            ):
                 self._compute(entry)
 
         # 3. Trigger stage: issue a new instruction if the slot is free.
-        if self._pipe[0] is not None:
+        if pipe[0] is not None:
             # The front is blocked; only data hazards stall this pipeline.
             self.counters.data_hazard_cycles += 1
             return progressed
         if self._halt_pending:
             self.counters.none_triggered_cycles += 1
             return progressed
-        outcome = self.scheduler.evaluate(
-            self.instructions,
-            self.preds.state,
-            make_queue_view(config, self.inputs, self.outputs, self._queue_state),
-            pending_predicates=self._pending_predicates(),
-            forbid_side_effects=bool(self._specs),
-        )
+        pending = self._pending_predicates()
+        forbid = bool(self._specs)
+        if self.fast_path:
+            # Memoize the decision on everything `evaluate` observes: the
+            # predicate state, the hazard inputs, and a queue-status
+            # signature maintained from monotone version counters.  Stall
+            # and idle cycles re-present an unchanged key and skip the
+            # program walk entirely.
+            signature = self._state_version
+            for queue in self._sig_queues:
+                signature += queue.version
+            key = (self.preds.state, pending, forbid, signature)
+            outcome = self._decision_cache.get(key)
+            if outcome is None:
+                outcome = self.scheduler.evaluate(
+                    self.instructions,
+                    self.preds.state,
+                    self._view,
+                    pending_predicates=pending,
+                    forbid_side_effects=forbid,
+                    compiled=self._compiled,
+                )
+                if len(self._decision_cache) >= _DECISION_CACHE_LIMIT:
+                    self._decision_cache.clear()
+                self._decision_cache[key] = outcome
+        else:
+            outcome = self.scheduler.evaluate(
+                self.instructions,
+                self.preds.state,
+                self._view,
+                pending_predicates=pending,
+                forbid_side_effects=forbid,
+            )
         if outcome.kind is TriggerKind.FIRED:
             self._issue(self.instructions[outcome.index], outcome.index)
             # When decode is coalesced into the trigger stage, operand
             # capture and dequeues belong to the issue cycle itself.
-            entry = self._pipe[0]
-            if self.config.decode_stage == 0 and self._operands_ready(entry):
+            entry = pipe[0]
+            if decode_stage == 0 and self._operands_ready(entry):
                 self._capture(entry)
-                late = entry.ins.dp.op.late_result
-                if self.config.result_stage(late) == 0:
+                late = entry.meta.late_result
+                if (self._late_stage if late else self._early_stage) == 0:
                     self._compute(entry)
             progressed = True
         elif outcome.kind is TriggerKind.PREDICATE_HAZARD:
@@ -259,41 +340,47 @@ class PipelinedPE:
 
     def _pending_predicates(self) -> int:
         """Predicate bits with in-flight, *unpredicted* datapath writes."""
-        predicted_seqs = {spec.owner_seq for spec in self._specs}
         mask = 0
+        specs = self._specs
         for entry in self._pipe:
             if entry is None or not entry.writes_pred or entry.pred_committed:
                 continue
-            if entry.seq in predicted_seqs:
+            if specs and any(spec.owner_seq == entry.seq for spec in specs):
                 continue
-            mask |= 1 << entry.ins.dp.dst.index
+            mask |= 1 << entry.meta.dst_index
         return mask
 
     def _issue(self, ins: Instruction, slot: int) -> None:
-        entry = _InFlight(ins=ins, slot=slot, seq=self._next_seq, stage=0)
+        meta = self._dp_meta[slot]
+        entry = _InFlight(ins, meta, slot, self._next_seq, 0)
         self._next_seq += 1
         self._pipe[0] = entry
         self.counters.issued += 1
 
         # Issue-time atomic predicate update (never survives a flush of
         # this instruction, so it touches only the live state).
-        self.preds.apply_update(ins.dp.pred_update)
+        self.preds.apply_update(meta.pred_update)
 
-        # Book pending queue activity for the status views.
-        for queue in ins.dp.deq:
+        # Book pending queue activity for the status views.  The state
+        # version only moves when the scheduler-visible in-flight
+        # bookkeeping does — queue-free instructions leave the memoized
+        # decision signature untouched.
+        for queue in meta.deq:
             self._queue_state.pending_deqs[queue] += 1
             self._queue_state.sched_deqs[queue] += 1
-        out = ins.output_queue
-        if out is not None:
+            self._state_version += 1
+        out = meta.out_queue
+        if out >= 0:
             self._queue_state.pending_enqs[out] += 1
+            self._state_version += 1
 
         # Offer a prediction for a predicate-writing instruction.
         if (
-            ins.dp.writes_predicate
-            and self.config.predicate_prediction
-            and len(self._specs) < self.config.speculative_depth
+            entry.writes_pred
+            and self._predicts
+            and len(self._specs) < self._spec_depth
         ):
-            index = ins.dp.dst.index
+            index = meta.dst_index
             predicted = self.predictor.predict(index)
             self._specs.append(
                 _Speculation(
@@ -305,7 +392,7 @@ class PipelinedPE:
             )
             self.preds.write_bit(index, predicted)
 
-        if ins.dp.op.mnemonic == "halt":
+        if meta.is_halt:
             self._halt_pending = True
 
     # ------------------------------------------------------------------
@@ -323,57 +410,60 @@ class PipelinedPE:
         return best
 
     def _operands_ready(self, entry: _InFlight) -> bool:
-        for src in entry.ins.dp.srcs:
-            if src.kind is OperandType.REG:
-                producer = self._youngest_producer(src.index, entry.seq)
-                if producer is not None and not producer.result_ready:
-                    return False
+        for reg in entry.meta.reg_srcs:
+            producer = self._youngest_producer(reg, entry.seq)
+            if producer is not None and not producer.result_ready:
+                return False
         return True
 
     def _capture(self, entry: _InFlight) -> None:
         """Read operands (with forwarding) and perform dequeues."""
-        dp = entry.ins.dp
+        meta = entry.meta
         operands = []
-        for src in dp.srcs:
-            if src.kind is OperandType.REG:
-                producer = self._youngest_producer(src.index, entry.seq)
+        for code, payload in meta.operand_plan:
+            if code == REG:
+                producer = self._youngest_producer(payload, entry.seq)
                 if producer is not None:
                     operands.append(producer.result.value)
                 else:
-                    operands.append(self.regs.read(src.index))
-            elif src.kind is OperandType.IN:
-                operands.append(self.inputs[src.index].peek(0).value)
-            elif src.kind is OperandType.IMM:
-                operands.append(dp.imm & self.params.word_mask)
-            else:
-                operands.append(0)
-        while len(operands) < 2:
-            operands.append(0)
+                    operands.append(self.regs.read(payload))
+            elif code == IN:
+                operands.append(self.inputs[payload].peek(0).value)
+            else:   # LIT: an immediate (pre-masked) or an absent source
+                operands.append(payload)
         entry.operands = (operands[0], operands[1])
         entry.captured = True
-        for queue in dp.deq:
+        for queue in meta.deq:
             self.inputs[queue].dequeue()
             self._queue_state.pending_deqs[queue] -= 1
             self.counters.dequeues += 1
+            self._state_version += 1
 
     # ------------------------------------------------------------------
     # Execute / retire
     # ------------------------------------------------------------------
 
     def _compute(self, entry: _InFlight) -> None:
-        entry.result = alu_execute(
-            entry.ins.dp.op,
-            entry.operands[0],
-            entry.operands[1],
-            self.params,
-            self.scratchpad,
-        )
+        meta = entry.meta
+        semantics = meta.semantics
+        a, b = entry.operands
+        if semantics is not None:
+            params = self.params
+            mask = params.word_mask
+            entry.result = semantics(
+                a & mask, b & mask, params, mask, params.word_width,
+                self.scratchpad,
+            )
+        else:
+            entry.result = alu_execute(
+                meta.op, a, b, self.params, self.scratchpad
+            )
         entry.result_ready = True
         # The speculative predicate unit (+P) sees computed predicates as
         # soon as the ALU produces them: predictions verify here, and
         # unpredicted writes bypass into its live state early.  Without
         # +P there is no such unit, and predicates resolve at retirement.
-        if entry.writes_pred and self.config.predicate_prediction:
+        if entry.writes_pred and self._predicts:
             self._commit_predicate_write(entry, entry.result.value & 1)
             entry.pred_committed = True
 
@@ -383,37 +473,39 @@ class PipelinedPE:
         if not entry.result_ready:
             self._compute(entry)
         result = entry.result
-        dp = entry.ins.dp
-        dst = dp.dst
+        meta = entry.meta
+        dst_kind = meta.dst_kind
 
         # The scheduler-visible dequeue window closes only at retirement.
-        for queue in dp.deq:
+        for queue in meta.deq:
             self._queue_state.sched_deqs[queue] -= 1
+            self._state_version += 1
 
         if result.store is not None:
             if self.scratchpad is None:
                 raise SimulationError(f"{self.name}: store without a scratchpad")
             self.scratchpad.store(*result.store)
 
-        if dst.kind is DestinationType.REG:
-            self.regs.write(dst.index, result.value)
-        elif dst.kind is DestinationType.OUT:
-            self.outputs[dst.index].enqueue(result.value, dst.out_tag)
-            self._queue_state.pending_enqs[dst.index] -= 1
+        if dst_kind == DST_REG:
+            self.regs.write(meta.dst_index, result.value)
+        elif dst_kind == DST_OUT:
+            self.outputs[meta.dst_index].enqueue(result.value, meta.out_tag)
+            self._queue_state.pending_enqs[meta.dst_index] -= 1
             self.counters.enqueues += 1
-        elif dst.kind is DestinationType.PRED and not entry.pred_committed:
+            self._state_version += 1
+        elif dst_kind == DST_PRED and not entry.pred_committed:
             self._commit_predicate_write(entry, result.value & 1)
 
         if result.halt:
             self.halted = True
 
         self.counters.retired += 1
-        self.counters.retired_by_op[dp.op.mnemonic] += 1
+        self.counters.retired_by_op[meta.op.mnemonic] += 1
         self.counters.retired_by_slot[entry.slot] += 1
 
     def _commit_predicate_write(self, entry: _InFlight, actual: int) -> None:
         self.counters.predicate_writes += 1
-        index = entry.ins.dp.dst.index
+        index = entry.meta.dst_index
         self.predictor.record_outcome(index, actual)
 
         spec = next((s for s in self._specs if s.owner_seq == entry.seq), None)
@@ -461,17 +553,18 @@ class PipelinedPE:
         for stage, entry in enumerate(self._pipe):
             if entry is None or entry.seq <= owner_seq:
                 continue
-            if entry.ins.dp.deq and not entry.captured:
+            if entry.meta.deq and not entry.captured:
                 # Cannot happen: dequeues are forbidden during speculation.
                 raise SimulationError(
                     f"{self.name}: flushing an uncaptured dequeue instruction"
                 )
-            out = entry.ins.output_queue
-            if out is not None:
+            out = entry.meta.out_queue
+            if out >= 0:
                 self._queue_state.pending_enqs[out] -= 1
+                self._state_version += 1
             self._pipe[stage] = None
             self.counters.quashed += 1
         self._halt_pending = any(
-            entry is not None and entry.ins.dp.op.mnemonic == "halt"
+            entry is not None and entry.meta.is_halt
             for entry in self._pipe
         )

@@ -1,0 +1,89 @@
+"""Worker-count policy and campaign parallelism determinism."""
+
+import os
+
+import pytest
+
+from repro.dse.cpi import CpiTable, table_fingerprint
+from repro.parallel import parallel_map, resolve_workers
+from repro.params import DEFAULT_PARAMS as P
+from repro.pipeline.config import all_configs
+
+
+@pytest.fixture()
+def clean_env(monkeypatch):
+    monkeypatch.delenv("REPRO_SERIAL", raising=False)
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+
+
+def _square(x):   # module level: must pickle for the pool path
+    return x * x
+
+
+class TestResolveWorkers:
+    def test_serial_env_forces_one(self, clean_env, monkeypatch):
+        monkeypatch.setenv("REPRO_SERIAL", "1")
+        assert resolve_workers(8) == 1
+
+    def test_explicit_argument_wins_over_workers_env(self, clean_env, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_workers_env_applies_when_unspecified(self, clean_env, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers() == 5
+
+    def test_defaults_to_cpu_count(self, clean_env):
+        assert resolve_workers() == max(1, os.cpu_count() or 1)
+
+    def test_never_below_one(self, clean_env):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-3) == 1
+
+    def test_garbage_workers_env_falls_through(self, clean_env, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        assert resolve_workers() == max(1, os.cpu_count() or 1)
+
+
+class TestParallelMap:
+    def test_serial_path_preserves_order(self, clean_env):
+        assert parallel_map(_square, range(10), workers=1) == [
+            x * x for x in range(10)
+        ]
+
+    def test_pool_path_matches_serial(self, clean_env):
+        items = list(range(12))
+        assert parallel_map(_square, items, workers=2) == [
+            x * x for x in items
+        ]
+
+    def test_empty_input(self, clean_env):
+        assert parallel_map(_square, [], workers=4) == []
+
+
+class TestCpiTableParallelism:
+    CONFIGS = all_configs()[:3]
+    SCALE = 5
+
+    def test_populate_matches_lazy_serial_evaluation(self, clean_env):
+        lazy = CpiTable(scale=self.SCALE)
+        for config in self.CONFIGS:
+            lazy.cpi(config)
+        pooled = CpiTable(scale=self.SCALE)
+        pooled.populate(self.CONFIGS, workers=2)
+        assert pooled._cpi == lazy._cpi
+        assert pooled._stacks == lazy._stacks
+
+    def test_fingerprint_covers_scale_params_and_configs(self):
+        base = table_fingerprint(8, 0, P, self.CONFIGS)
+        assert table_fingerprint(9, 0, P, self.CONFIGS) != base
+        assert table_fingerprint(8, 1, P, self.CONFIGS) != base
+        assert table_fingerprint(8, 0, P, self.CONFIGS[:2]) != base
+        assert table_fingerprint(8, 0, P, self.CONFIGS) == base
+
+    def test_stale_disk_cache_is_not_loaded(self, clean_env, tmp_path):
+        path = str(tmp_path / "cache.json")
+        first = CpiTable(scale=self.SCALE, cache_path=path)
+        first.populate(self.CONFIGS[:1])
+        assert CpiTable(scale=self.SCALE, cache_path=path)._cpi == first._cpi
+        assert CpiTable(scale=self.SCALE + 1, cache_path=path)._cpi == {}

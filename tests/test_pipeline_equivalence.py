@@ -199,3 +199,70 @@ def test_nested_speculation_preserves_results(generated):
     config = config_by_name("T|D|X1|X2 +P").with_options(speculative_depth=3)
     pe = PipelinedPE(config, P, name="nested")
     assert _run(pe, instructions, pushes) == reference
+
+
+# ---------------------------------------------------------------------------
+# Fast-path differential: the compiled-trigger + memoized-decision path
+# (the default) against the original per-cycle dataclass walk
+# (``fast_path=False``), which is kept as the reference implementation.
+# ---------------------------------------------------------------------------
+
+import pytest
+
+from repro.pipeline.config import all_configs
+from repro.workloads.suite import WORKLOADS, run_workload
+
+_DIFF_SCALE = 6
+
+
+def _workload_fingerprint(run):
+    """Everything a simulation can influence: counters, stack, and final
+    architectural state of every PE plus memory."""
+    counters = run.worker_counters
+    pes = []
+    for pe in run.system.pes:
+        pes.append((
+            pe.name,
+            pe.halted,
+            tuple(pe.regs.snapshot()),
+            pe.preds.state,
+        ))
+    return {
+        "cycles": run.cycles,
+        "counters": counters,
+        "stack": counters.stack(),
+        "pes": tuple(pes),
+        "memory": tuple(run.system.memory._words),
+    }
+
+
+@pytest.mark.parametrize("config", all_configs(), ids=lambda c: c.name)
+def test_fast_path_is_bit_identical_across_the_workload_suite(config):
+    """All 8 partitions x {baseline, +P, +Q, +P+Q}, all ten workloads:
+    the fast path must reproduce the reference path bit for bit — same
+    CPI stacks, same counters, same final architectural state."""
+    for name in WORKLOADS():
+        fast = run_workload(
+            name, scale=_DIFF_SCALE,
+            make_pe=lambda n: PipelinedPE(config, P, name=n, fast_path=True),
+        )
+        reference = run_workload(
+            name, scale=_DIFF_SCALE,
+            make_pe=lambda n: PipelinedPE(config, P, name=n, fast_path=False),
+        )
+        assert _workload_fingerprint(fast) == _workload_fingerprint(reference), (
+            f"{config.name} / {name}: fast path diverged from reference"
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(chain_programs())
+def test_fast_path_matches_reference_on_random_programs(generated):
+    instructions, pushes = generated
+    for name in ("T|D|X1|X2 +P+Q", "TD|X", "T|DX +P+Q"):
+        fast = PipelinedPE(config_by_name(name), P, name="fast", fast_path=True)
+        ref = PipelinedPE(config_by_name(name), P, name="ref", fast_path=False)
+        fast_result = _run(fast, instructions, pushes)
+        ref_result = _run(ref, instructions, pushes)
+        assert fast_result == ref_result, f"{name}: architectural state diverged"
+        assert fast.counters == ref.counters, f"{name}: counters diverged"

@@ -109,3 +109,49 @@ class TestFifoProperty:
                 staged.clear()
             assert q.occupancy == len(reference)
             assert q.free_slots == q.capacity - len(reference) - len(staged)
+
+
+class TestVersionCounter:
+    """The monotone version counter backing memoized trigger decisions.
+
+    Soundness of the scheduler's decision cache rests on one invariant:
+    any mutation that can change what a queue-status view observes bumps
+    ``version``, and the counter never decreases.
+    """
+
+    def test_every_mutation_bumps_the_version(self):
+        q = TaggedQueue(4)
+        v = q.version
+        q.enqueue(1)
+        assert q.version > v; v = q.version
+        q.commit()
+        assert q.version > v; v = q.version
+        q.dequeue()
+        assert q.version > v; v = q.version
+        q.enqueue(2)
+        q.commit()
+        q.drain()
+        assert q.version > v; v = q.version
+        q.reset()
+        assert q.version > v
+
+    def test_empty_commit_leaves_version_alone(self):
+        q = TaggedQueue(4)
+        v = q.version
+        q.commit()
+        assert q.version == v
+
+    @given(st.data())
+    def test_version_is_strictly_monotone(self, data):
+        q = TaggedQueue(4)
+        last = q.version
+        for _ in range(data.draw(st.integers(1, 40))):
+            action = data.draw(st.sampled_from(["enq", "deq", "commit"]))
+            if action == "enq" and q.free_slots > 0:
+                q.enqueue(data.draw(st.integers(0, 100)))
+            elif action == "deq" and q.occupancy:
+                q.dequeue()
+            elif action == "commit":
+                q.commit()
+            assert q.version >= last
+            last = q.version

@@ -159,3 +159,66 @@ class TestSpeculationRestrictions:
         outcome = Scheduler(P).evaluate(
             program, 0, view(queues), forbid_side_effects=True)
         assert outcome.fired
+
+
+class TestTriggeredIndicesPendingPredicates:
+    def test_pending_write_hides_watching_slots(self, queues):
+        program = [ins(Trigger(pred_on=0b1)), ins(Trigger(pred_off=0b1)), ins()]
+        sched = Scheduler(P)
+        # Stable state: p0=0 -> slots 1 and 2 trigger.
+        assert sched.triggered_indices(program, 0, view(queues)) == [1, 2]
+        # An in-flight write to p0 makes both watchers unknown, not
+        # "triggered under the stale value".
+        assert sched.triggered_indices(
+            program, 0, view(queues), pending_predicates=0b1
+        ) == [2]
+
+    def test_pending_bits_outside_the_watch_set_are_ignored(self, queues):
+        program = [ins(Trigger(pred_on=0b10)), ins()]
+        indices = Scheduler(P).triggered_indices(
+            program, 0b10, view(queues), pending_predicates=0b100
+        )
+        assert indices == [0, 1]
+
+
+class TestCompiledEvaluate:
+    """The compiled descriptor path must agree with the dataclass walk."""
+
+    def _assert_agree(self, program, pred_state, queues, pending=0, forbid=False):
+        from repro.arch.trigger_cache import compile_program
+
+        sched = Scheduler(P)
+        reference = sched.evaluate(
+            program, pred_state, view(queues),
+            pending_predicates=pending, forbid_side_effects=forbid,
+        )
+        compiled = sched.evaluate(
+            program, pred_state, view(queues),
+            pending_predicates=pending, forbid_side_effects=forbid,
+            compiled=compile_program(program),
+        )
+        assert compiled.kind is reference.kind
+        assert compiled.index == reference.index
+
+    def test_agreement_across_predicate_states(self, queues):
+        program = [ins(Trigger(pred_on=0b1, pred_off=0b10)), ins(deq=(0,)), ins()]
+        fill(queues[0][0], (7, 1))
+        for pred_state in range(8):
+            for pending in (0, 0b1, 0b11):
+                for forbid in (False, True):
+                    self._assert_agree(program, pred_state, queues,
+                                       pending, forbid)
+
+    def test_agreement_on_tag_checks(self, queues):
+        program = [
+            ins(Trigger(tag_checks=(TagCheck(queue=0, tag=2),))),
+            ins(Trigger(tag_checks=(TagCheck(queue=0, tag=2, negate=True),))),
+            ins(Trigger(pred_on=0b1)),
+        ]
+        self._assert_agree(program, 0, queues)          # empty queue
+        fill(queues[0][0], (9, 2))
+        self._assert_agree(program, 0, queues)          # tag match
+        queues[0][0].dequeue()
+        queues[0][0].commit()
+        fill(queues[0][0], (9, 3))
+        self._assert_agree(program, 0, queues)          # tag mismatch

@@ -1,0 +1,134 @@
+"""Program lowering: compiled triggers and datapaths match their source."""
+
+from repro.arch.trigger_cache import (
+    DST_OUT,
+    DST_PRED,
+    DST_REG,
+    IN,
+    LIT,
+    REG,
+    CompiledDatapath,
+    compile_datapaths,
+    compile_program,
+)
+from repro.isa.alu import alu_execute
+from repro.isa.instruction import (
+    DatapathOp,
+    Destination,
+    Instruction,
+    Operand,
+    PredUpdate,
+    TagCheck,
+    Trigger,
+    make_nop,
+)
+from repro.isa.opcodes import op_by_name
+from repro.params import DEFAULT_PARAMS as P
+
+
+def _ins(**kwargs):
+    defaults = dict(
+        trigger=Trigger(),
+        dp=DatapathOp(
+            op=op_by_name("add"),
+            srcs=(Operand.reg(0), Operand.reg(1)),
+            dst=Destination.reg(0),
+        ),
+    )
+    defaults.update(kwargs)
+    return Instruction(**defaults)
+
+
+class TestCompiledTrigger:
+    def test_fields_mirror_the_instruction(self):
+        ins = _ins(
+            trigger=Trigger(
+                pred_on=0b0101, pred_off=0b1010,
+                tag_checks=(TagCheck(queue=2, tag=3, negate=True),),
+            ),
+            dp=DatapathOp(
+                op=op_by_name("add"),
+                srcs=(Operand.input_queue(1), Operand.reg(0)),
+                dst=Destination.output_queue(2, 1),
+                deq=(1,),
+            ),
+        )
+        [d] = compile_program([ins]).descriptors
+        assert d.index == 0
+        assert d.pred_on == 0b0101 and d.pred_off == 0b1010
+        assert d.watched == 0b1111
+        assert d.required_queues == (1, 2)   # operand + tag-checked queues
+        assert d.tag_checks == ((2, 3, True),)
+        assert d.out_queue == 2
+        assert d.side_effects == ins.dp.has_side_effects_before_retire
+
+    def test_invalid_slots_dropped_but_indices_kept(self):
+        program = [make_nop(), _ins(), make_nop(), _ins()]
+        compiled = compile_program(program)
+        assert [d.index for d in compiled.descriptors] == [1, 3]
+
+    def test_matches_is_identity_based(self):
+        program = [_ins()]
+        compiled = compile_program(program)
+        assert compiled.matches(program)
+        assert not compiled.matches(list(program))
+
+
+class TestCompiledDatapath:
+    def test_operand_plan_padded_and_immediate_premasked(self):
+        ins = _ins(dp=DatapathOp(
+            op=op_by_name("not"),
+            srcs=(Operand.imm(),),
+            dst=Destination.reg(3),
+            imm=-1,
+        ))
+        meta = CompiledDatapath(ins, P)
+        assert meta.operand_plan == ((LIT, P.word_mask), (LIT, 0))
+        assert meta.reg_srcs == ()
+        assert meta.dst_kind == DST_REG and meta.dst_index == 3
+
+    def test_queue_sources_and_destinations(self):
+        ins = _ins(dp=DatapathOp(
+            op=op_by_name("add"),
+            srcs=(Operand.input_queue(2), Operand.reg(5)),
+            dst=Destination.output_queue(1, 3),
+            deq=(2,),
+        ))
+        meta = CompiledDatapath(ins, P)
+        assert meta.operand_plan == ((IN, 2), (REG, 5))
+        assert meta.reg_srcs == (5,)
+        assert meta.deq == (2,)
+        assert meta.dst_kind == DST_OUT
+        assert meta.dst_index == 1 and meta.out_tag == 3
+        assert meta.out_queue == 1
+
+    def test_predicate_destination_flags(self):
+        ins = _ins(dp=DatapathOp(
+            op=op_by_name("eqz"),
+            srcs=(Operand.reg(0),),
+            dst=Destination.predicate(2),
+            pred_update=PredUpdate(set_mask=0b1),
+        ))
+        meta = CompiledDatapath(ins, P)
+        assert meta.dst_kind == DST_PRED and meta.dst_index == 2
+        assert meta.writes_pred and not meta.writes_reg
+        assert meta.out_queue == -1
+        assert meta.pred_update is ins.dp.pred_update
+
+    def test_semantics_agree_with_alu_execute(self):
+        for mnemonic in ("add", "mulh", "asr", "brev", "slt", "halt"):
+            op = op_by_name(mnemonic)
+            srcs = tuple(Operand.reg(i) for i in range(op.num_srcs))
+            ins = _ins(dp=DatapathOp(op=op, srcs=srcs, dst=Destination.reg(0)))
+            meta = CompiledDatapath(ins, P)
+            assert meta.is_halt == (mnemonic == "halt")
+            assert meta.late_result == op.late_result
+            for a, b in ((0, 0), (7, 3), (P.word_mask, 1)):
+                got = meta.semantics(a, b, P, P.word_mask, P.word_width, None)
+                assert got == alu_execute(op, a, b, P, None)
+
+    def test_compiled_by_position_including_invalid(self):
+        program = [make_nop(), _ins(), make_nop()]
+        metas = compile_datapaths(program, P)
+        assert len(metas) == 3
+        assert metas[1].op is program[1].dp.op
