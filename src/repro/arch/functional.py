@@ -9,7 +9,7 @@ CPI it reports directly.
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
 
 from repro.arch.predicates import PredicateFile
@@ -100,6 +100,12 @@ class FunctionalPE:
         self._dp_meta: list[CompiledDatapath] = []
         self._decision_cache: dict[tuple, object] = {}
         self._sig_queues = self.inputs + self.outputs
+        #: Resilience seam: called with this PE at the top of every live
+        #: cycle (see :mod:`repro.resilience.faults`).  None costs one
+        #: attribute test per cycle.
+        self.fault_hook = None
+        #: Ring of the most recent (cycle, slot) fires, for forensic dumps.
+        self.recent_fires: deque[tuple[int, int]] = deque(maxlen=8)
 
     # ------------------------------------------------------------------
     # Host interface (the userspace library's role)
@@ -143,6 +149,7 @@ class FunctionalPE:
         self.counters = FunctionalCounters()
         self.halted = False
         self._decision_cache.clear()
+        self.recent_fires.clear()
 
     # ------------------------------------------------------------------
     # Simulation
@@ -153,6 +160,8 @@ class FunctionalPE:
         if self.halted:
             return False
         self.counters.cycles += 1
+        if self.fault_hook is not None:
+            self.fault_hook(self)
         signature = 0
         for queue in self._sig_queues:
             signature += queue.version
@@ -224,6 +233,22 @@ class FunctionalPE:
         self.counters.retired += 1
         self.counters.retired_by_op[meta.op.mnemonic] += 1
         self.counters.retired_by_slot[slot] += 1
+        self.recent_fires.append((self.counters.cycles, slot))
+
+    def snapshot_state(self) -> dict:
+        """Structured architectural state for forensic dumps."""
+        return {
+            "name": self.name,
+            "model": "functional",
+            "halted": self.halted,
+            "cycles": self.counters.cycles,
+            "retired": self.counters.retired,
+            "predicates": f"{self.preds.state:0{self.params.num_preds}b}",
+            "registers": list(self.regs.snapshot()),
+            "recent_fires": list(self.recent_fires),
+            "inputs": [queue.snapshot() for queue in self.inputs],
+            "outputs": [queue.snapshot() for queue in self.outputs],
+        }
 
     def commit_queues(self) -> None:
         """Commit staged enqueues on queues this PE owns (single-PE runs).

@@ -62,7 +62,12 @@ class TaggedQueue:
     def enqueue(self, value: int, tag: int = 0) -> None:
         """Stage an entry; it becomes visible after the next commit."""
         if self.free_slots <= 0:
-            raise QueueError(f"enqueue to full queue {self.name!r}")
+            raise QueueError(
+                f"enqueue to full queue {self.name!r} "
+                f"(capacity {self.capacity}, live {len(self._live)}, "
+                f"staged {len(self._staged)})",
+                queue_name=self.name,
+            )
         self._staged.append(QueueEntry(value, tag))
         self.version += 1
 
@@ -87,14 +92,19 @@ class TaggedQueue:
         if depth >= len(self._live):
             raise QueueError(
                 f"peek depth {depth} on queue {self.name!r} with "
-                f"occupancy {len(self._live)}"
+                f"occupancy {len(self._live)}",
+                queue_name=self.name,
             )
         return self._live[depth]
 
     def dequeue(self) -> QueueEntry:
         """Remove and return the head entry (takes effect immediately)."""
         if not self._live:
-            raise QueueError(f"dequeue from empty queue {self.name!r}")
+            raise QueueError(
+                f"dequeue from empty queue {self.name!r} "
+                f"(capacity {self.capacity}, staged {len(self._staged)})",
+                queue_name=self.name,
+            )
         self.version += 1
         return self._live.popleft()
 
@@ -112,12 +122,81 @@ class TaggedQueue:
         self._staged.clear()
         self.version += 1
 
+    # -- fault injection --------------------------------------------------
+    #
+    # Direct mutations of live entries, used by the resilience layer to
+    # model upsets in the physical queue storage.  Every mutator bumps
+    # ``version``: the memoizing schedulers key their decision caches on
+    # summed queue versions, so an unversioned mutation would let a stale
+    # cached decision mask the fault — exactly the failure mode the fault
+    # campaign exists to measure, not to manufacture.
+
+    def inject_tag_flip(self, position: int, bit: int) -> bool:
+        """Flip one bit of the tag ``position`` entries behind the head."""
+        if position >= len(self._live):
+            return False
+        entry = self._live[position]
+        self._live[position] = QueueEntry(entry.value, entry.tag ^ (1 << bit))
+        self.version += 1
+        return True
+
+    def inject_value_flip(self, position: int, bit: int) -> bool:
+        """Flip one bit of the data word ``position`` entries behind the head."""
+        if position >= len(self._live):
+            return False
+        entry = self._live[position]
+        self._live[position] = QueueEntry(entry.value ^ (1 << bit), entry.tag)
+        self.version += 1
+        return True
+
+    def inject_drop(self, position: int = 0) -> bool:
+        """Silently lose one live entry (a dropped token)."""
+        if position >= len(self._live):
+            return False
+        del self._live[position]
+        self.version += 1
+        return True
+
+    def inject_duplicate(self, position: int = 0) -> bool:
+        """Duplicate one live entry in place (a replayed token).
+
+        Refuses when the queue has no physical slot free — queue storage
+        cannot hold more words than it has flops.
+        """
+        if position >= len(self._live) or self.free_slots <= 0:
+            return False
+        self._live.insert(position, self._live[position])
+        self.version += 1
+        return True
+
     def drain(self) -> list[QueueEntry]:
         """Remove and return every visible entry (host-side helper)."""
         items = list(self._live)
         self._live.clear()
         self.version += 1
         return items
+
+    def snapshot(self) -> dict:
+        """Forensic view of the queue: occupancy plus head and neck entries.
+
+        The "neck" (second entry) is what the effective-queue-status
+        scheduler inspects when a dequeue is in flight, so a forensic
+        dump needs both.
+        """
+        def entry(depth: int) -> tuple[int, int] | None:
+            if depth >= len(self._live):
+                return None
+            e = self._live[depth]
+            return (e.value, e.tag)
+
+        return {
+            "name": self.name,
+            "occupancy": len(self._live),
+            "staged": len(self._staged),
+            "capacity": self.capacity,
+            "head": entry(0),
+            "neck": entry(1),
+        }
 
     def __len__(self) -> int:
         return len(self._live)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.errors import MemoryError_
+from repro.errors import SimMemoryError
 from repro.params import ArchParams
 
 
@@ -24,7 +24,7 @@ class Scratchpad:
     def preload(self, values: list[int], base: int = 0) -> None:
         """Host-side bulk initialization (the userspace library's role)."""
         if base < 0 or base + len(values) > len(self._words):
-            raise MemoryError_(
+            raise SimMemoryError(
                 f"preload of {len(values)} words at {base} exceeds scratchpad "
                 f"size {len(self._words)}"
             )
@@ -44,7 +44,7 @@ class Scratchpad:
 
     def _check(self, address: int) -> None:
         if not 0 <= address < len(self._words):
-            raise MemoryError_(
+            raise SimMemoryError(
                 f"scratchpad address {address} out of range "
                 f"0..{len(self._words) - 1}"
             )

@@ -28,7 +28,7 @@ import hashlib
 import json
 import os
 
-from repro.parallel import parallel_map
+from repro.parallel import Checkpoint, resilient_map
 from repro.params import ArchParams, DEFAULT_PARAMS
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.core import PipelinedPE
@@ -143,15 +143,37 @@ class CpiTable:
         Results are identical to serial lazy evaluation (the worker is a
         pure function and results are merged in input order); the disk
         cache is written once at the end rather than per config.
+
+        The campaign is hardened: killed workers are retried with the
+        pool rebuilt (degrading to serial execution as a last resort),
+        and when a disk cache path is configured, per-config results are
+        checkpointed beside it so an interrupted campaign resumes from
+        the configs already simulated instead of restarting.
         """
         missing = [c for c in configs if c.name not in self._cpi]
         if not missing:
             return
         tasks = [(c, self.scale, self.seed, self.params) for c in missing]
-        for name, cpi, stack in parallel_map(_simulate_config, tasks, workers):
+        checkpoint = None
+        if self.cache_path:
+            checkpoint = Checkpoint(
+                self.cache_path + ".partial",
+                fingerprint=self.fingerprint,
+                decode=tuple,
+            )
+        results = resilient_map(
+            _simulate_config,
+            tasks,
+            workers,
+            checkpoint=checkpoint,
+            key=lambda task: task[0].name,
+        )
+        for name, cpi, stack in results:
             self._cpi[name] = cpi
             self._stacks[name] = stack
         self._save()
+        if checkpoint is not None:
+            checkpoint.clear()
 
     def _simulate(self, config: PipelineConfig) -> None:
         cpi, stack = _campaign(config, self.scale, self.seed, self.params)

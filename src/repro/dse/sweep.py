@@ -19,7 +19,7 @@ from __future__ import annotations
 from repro.dse.cpi import CpiTable
 from repro.dse.design_point import DesignPoint
 from repro.errors import SynthesisError
-from repro.parallel import parallel_map
+from repro.parallel import resilient_map
 from repro.pipeline.config import PipelineConfig, all_configs
 from repro.vlsi.synthesis import fmax, synthesize
 from repro.vlsi.technology import TECH65, Technology, VtFlavor
@@ -83,7 +83,9 @@ def sweep(
     out across a process pool; ``workers`` follows the
     :func:`repro.parallel.resolve_workers` policy (``REPRO_SERIAL=1``
     forces the in-process serial path).  The returned point list is
-    identical at any worker count.
+    identical at any worker count; killed workers are retried (the
+    :func:`repro.parallel.resilient_map` policy), degrading to serial
+    execution if the pool keeps dying.
     """
     if configs is None:
         configs = all_configs()
@@ -96,7 +98,7 @@ def sweep(
         (config, cpi_table.cpi(config), tech, include_fmax_points)
         for config in configs
     ]
-    per_config = parallel_map(_close_config, tasks, workers)
+    per_config = resilient_map(_close_config, tasks, workers)
     points: list[DesignPoint] = []
     for sublist in per_config:
         points.extend(sublist)

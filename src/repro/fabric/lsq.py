@@ -28,7 +28,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.arch.queue import TaggedQueue
-from repro.errors import MemoryError_
+from repro.errors import SimMemoryError
 from repro.fabric.memory import Memory
 
 
@@ -56,9 +56,9 @@ class LoadStoreQueue:
         name: str = "lsq",
     ) -> None:
         if latency < 1:
-            raise MemoryError_("load latency must be at least one cycle")
+            raise SimMemoryError("load latency must be at least one cycle")
         if store_buffer_entries < 1:
-            raise MemoryError_("store buffer needs at least one entry")
+            raise SimMemoryError("store buffer needs at least one entry")
         self.memory = memory
         self.latency = latency
         self.name = name

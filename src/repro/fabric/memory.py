@@ -22,7 +22,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.arch.queue import TaggedQueue
-from repro.errors import MemoryError_
+from repro.errors import SimMemoryError
 
 
 class Memory:
@@ -30,7 +30,7 @@ class Memory:
 
     def __init__(self, size_words: int, word_mask: int = 0xFFFFFFFF) -> None:
         if size_words <= 0:
-            raise MemoryError_(f"memory size must be positive, got {size_words}")
+            raise SimMemoryError(f"memory size must be positive, got {size_words}")
         self._words = [0] * size_words
         self._word_mask = word_mask
         self.loads = 0
@@ -49,7 +49,7 @@ class Memory:
     def preload(self, values: list[int], base: int = 0) -> None:
         """Host-side bulk initialization (data buffers for a benchmark)."""
         if base < 0 or base + len(values) > len(self._words):
-            raise MemoryError_(
+            raise SimMemoryError(
                 f"preload of {len(values)} words at {base} exceeds memory size"
             )
         for offset, value in enumerate(values):
@@ -58,12 +58,12 @@ class Memory:
     def dump(self, base: int, count: int) -> list[int]:
         self._check(base)
         if count < 0 or base + count > len(self._words):
-            raise MemoryError_(f"dump of {count} words at {base} exceeds memory size")
+            raise SimMemoryError(f"dump of {count} words at {base} exceeds memory size")
         return self._words[base:base + count]
 
     def _check(self, address: int) -> None:
         if not 0 <= address < len(self._words):
-            raise MemoryError_(
+            raise SimMemoryError(
                 f"memory address {address} out of range 0..{len(self._words) - 1}"
             )
 
@@ -83,7 +83,7 @@ class MemoryReadPort:
 
     def __init__(self, memory: Memory, latency: int = 4, name: str = "rdport") -> None:
         if latency < 1:
-            raise MemoryError_("read latency must be at least one cycle")
+            raise SimMemoryError("read latency must be at least one cycle")
         self.memory = memory
         self.latency = latency
         self.name = name

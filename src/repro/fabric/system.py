@@ -15,7 +15,12 @@ performance counters from the designated worker PE.
 from __future__ import annotations
 
 from repro.arch.queue import TaggedQueue
-from repro.errors import ConfigError, SimulationError
+from repro.errors import (
+    ConfigError,
+    DeadlockError,
+    SimulationError,
+    attribute_error,
+)
 from repro.fabric.lsq import LoadStoreQueue
 from repro.fabric.memory import Memory, MemoryReadPort, MemoryWritePort
 
@@ -32,6 +37,9 @@ class System:
         self.lsqs: list[LoadStoreQueue] = []
         self.cycles = 0
         self._channels: list[TaggedQueue] | None = None   # cached wiring
+        #: Optional per-cycle invariant checker (resilience layer); when
+        #: set, :meth:`step` calls it at every cycle boundary.
+        self.invariant_checker = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -171,12 +179,19 @@ class System:
     def all_halted(self) -> bool:
         return all(pe.halted for pe in self.pes)
 
+    def attach_invariant_checker(self, checker) -> None:
+        """Enable opt-in per-cycle invariant checking (resilience layer)."""
+        self.invariant_checker = checker
+
     def step(self) -> bool:
         """Advance the whole system one cycle; True if anything progressed."""
         progressed = False
         for pe in self.pes:
-            if pe.step():
-                progressed = True
+            try:
+                if pe.step():
+                    progressed = True
+            except SimulationError as exc:
+                raise attribute_error(exc, pe.name, self.cycles)
         for port in self.read_ports:
             busy_before = not port.idle
             port.step()
@@ -196,6 +211,8 @@ class System:
             if channel._staged:
                 channel.commit()
         self.cycles += 1
+        if self.invariant_checker is not None:
+            self.invariant_checker.check_system(self)
         return progressed
 
     @property
@@ -214,9 +231,11 @@ class System:
     ) -> int:
         """Run until every PE halts and memory ports drain; returns cycles.
 
-        Raises :class:`SimulationError` on deadlock (no architectural
-        progress for ``stall_limit`` cycles) or timeout, with a channel
-        occupancy dump to aid debugging.
+        Raises :class:`DeadlockError` — carrying a structured forensic
+        report (per-PE predicate state, queue occupancies with head/neck
+        tags, in-flight pipeline registers, last-triggered instructions)
+        — on deadlock (no architectural progress for ``stall_limit``
+        cycles) or timeout.
         """
         if not self.pes:
             raise ConfigError("system has no PEs")
@@ -227,39 +246,31 @@ class System:
             progressed = self.step()
             idle_streak = 0 if progressed else idle_streak + 1
             if idle_streak >= stall_limit:
-                raise SimulationError(
+                raise self._deadlock_error(
                     "deadlock: no progress for "
-                    f"{stall_limit} cycles at cycle {self.cycles}\n{self._state_dump()}"
+                    f"{stall_limit} cycles at cycle {self.cycles}"
                 )
         else:
-            raise SimulationError(
-                f"timeout after {max_cycles} cycles\n{self._state_dump()}"
-            )
+            raise self._deadlock_error(f"timeout after {max_cycles} cycles")
         # Let in-flight memory traffic land (stores issued just before halt).
         for _ in range(flush_limit):
             if self.ports_idle:
                 return self.cycles
             self.step()
-        raise SimulationError(
-            f"memory ports still busy {flush_limit} cycles after halt\n"
-            f"{self._state_dump()}"
+        raise self._deadlock_error(
+            f"memory ports still busy {flush_limit} cycles after halt"
         )
 
-    def _state_dump(self) -> str:
-        lines = []
-        for pe in self.pes:
-            lines.append(
-                f"  {pe.name}: halted={pe.halted} retired={pe.counters.retired} "
-                f"preds={pe.preds.state:08b}"
-            )
-            for queue in pe.inputs:
-                if queue.occupancy:
-                    head = queue.peek(0)
-                    lines.append(
-                        f"    in  {queue.name}: occ={queue.occupancy} "
-                        f"head=({head.value}, tag={head.tag})"
-                    )
-            for queue in pe.outputs:
-                if queue.occupancy:
-                    lines.append(f"    out {queue.name}: occ={queue.occupancy}")
-        return "\n".join(lines)
+    def forensic_report(self) -> dict:
+        """Structured dump of everything a hang post-mortem needs."""
+        # Imported here: the resilience layer may inspect fabric objects,
+        # so the fabric cannot import it at module load time.
+        from repro.resilience.forensics import forensic_report
+
+        return forensic_report(self)
+
+    def _deadlock_error(self, message: str) -> DeadlockError:
+        from repro.resilience.forensics import format_report
+
+        report = self.forensic_report()
+        return DeadlockError(f"{message}\n{format_report(report)}", report=report)

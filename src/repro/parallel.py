@@ -1,30 +1,50 @@
-"""Deterministic process-level parallelism for simulation campaigns.
+"""Deterministic, fault-tolerant process-level parallelism for campaigns.
 
-The CPI campaign and the design-space sweep are embarrassingly parallel
-across microarchitectures: each config's simulation shares nothing with
-the others, and every input (configs, parameters, workload generators)
-is a frozen dataclass or pure function of the seed.  This module is the
-one place that decides *whether* to fan out and *how wide*, so every
-campaign obeys the same two environment switches:
+The CPI campaign, the design-space sweep, and the fault-injection
+campaign are embarrassingly parallel: each task shares nothing with the
+others, and every input is a frozen dataclass or pure function of the
+seed.  This module is the one place that decides *whether* to fan out,
+*how wide*, and *what happens when workers die*.  Every campaign obeys
+the same two environment switches:
 
 * ``REPRO_SERIAL=1`` — force in-process serial execution (useful under
   debuggers, coverage, and profilers, and the documented escape hatch
   when process pools are unavailable);
 * ``REPRO_WORKERS=N`` — cap the pool size without touching call sites.
 
-:func:`parallel_map` preserves input order, so a campaign produces
-byte-identical results at any worker count — the differential tests in
-``tests/test_parallel.py`` hold it to that.
+Two entry points:
+
+* :func:`parallel_map` — the original order-preserving map; minimal
+  machinery, exceptions propagate as-is.
+* :func:`resilient_map` — hardened for long campaigns: per-task
+  timeouts, bounded retry with exponential backoff when the pool dies,
+  graceful degradation to in-process serial execution as a last resort,
+  worker exceptions re-raised with their original tracebacks
+  (:class:`~repro.errors.CampaignError`), and optional checkpointing of
+  partial results (:class:`Checkpoint`) so an interrupted campaign
+  resumes instead of restarting.
+
+Both preserve input order, so a campaign produces byte-identical
+results at any worker count — ``tests/test_parallel.py`` and
+``tests/test_resilience.py`` hold them to that.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import tempfile
+import time
+import traceback
 from collections.abc import Callable, Iterable, Sequence
 from typing import TypeVar
 
+from repro.errors import CampaignError
+
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+_UNSET = object()
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -70,3 +90,190 @@ def parallel_map(
 
     with ProcessPoolExecutor(max_workers=count) as pool:
         return list(pool.map(fn, work))
+
+
+class Checkpoint:
+    """Fingerprinted partial results of one campaign, on disk.
+
+    Results are stored as a JSON object keyed by a caller-chosen task
+    key; a stored ``fingerprint`` guards against resuming with results
+    computed under different inputs (same discipline as the CPI disk
+    cache).  ``encode``/``decode`` adapt non-JSON-native result types
+    (tuples, dataclasses) on the way in and out.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fingerprint: str = "",
+        encode: Callable | None = None,
+        decode: Callable | None = None,
+    ) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        self._encode = encode or (lambda value: value)
+        self._decode = decode or (lambda value: value)
+        self._results: dict[str, object] = {}
+        if os.path.exists(path):
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                payload = {}
+            if payload.get("fingerprint") == fingerprint:
+                self._results = payload.get("results", {})
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._results
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def get(self, key: str):
+        return self._decode(self._results[key])
+
+    def put(self, key: str, value) -> None:
+        self._results[key] = self._encode(value)
+        self._save()
+
+    def _save(self) -> None:
+        # Atomic replace: a campaign killed mid-write must not corrupt
+        # the checkpoint it would later resume from.
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, temp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {"fingerprint": self.fingerprint, "results": self._results},
+                    handle,
+                )
+            os.replace(temp, self.path)
+        except BaseException:
+            if os.path.exists(temp):
+                os.unlink(temp)
+            raise
+
+    def clear(self) -> None:
+        """Remove the checkpoint (call once the campaign has fully landed)."""
+        self._results = {}
+        if os.path.exists(self.path):
+            os.unlink(self.path)
+
+
+def _call_traced(fn, item):
+    """Worker-side wrapper: capture the full traceback across the pickle
+    boundary (module level so it pickles)."""
+    try:
+        return (True, fn(item))
+    except Exception as exc:
+        return (False, (type(exc).__name__, str(exc), traceback.format_exc()))
+
+
+def _raise_task_failure(index: int, failure) -> None:
+    name, message, tb = failure
+    raise CampaignError(
+        f"campaign task {index} failed: {name}: {message}",
+        worker_traceback=tb,
+    )
+
+
+def resilient_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    workers: int | None = None,
+    *,
+    timeout: float | None = None,
+    retries: int = 2,
+    backoff: float = 0.25,
+    checkpoint: Checkpoint | None = None,
+    key: Callable[[_T], str] | None = None,
+) -> list[_R]:
+    """Hardened order-preserving map for long campaigns.
+
+    * ``timeout`` bounds the wait for any single task's result; a stall
+      abandons the pool and counts as one retry.
+    * Pool failures (a killed worker breaks the whole pool) retry up to
+      ``retries`` times with exponential backoff, resubmitting only the
+      tasks that have not produced results yet.
+    * When retries are exhausted the remaining tasks degrade to
+      in-process serial execution, so a campaign finishes even on a host
+      where process pools are unreliable.
+    * A task that *raises* is not retried — the exception is
+      deterministic campaign input — and propagates as
+      :class:`~repro.errors.CampaignError` carrying the worker's
+      original traceback.
+    * With ``checkpoint`` and ``key``, completed results are persisted
+      as they land and skipped on resume; results computed before an
+      interruption are never re-simulated.
+
+    Results are identical to ``[fn(x) for x in items]`` at any worker
+    count, on any retry path.
+    """
+    work: Sequence[_T] = list(items)
+    keys: list[str | None] = [
+        key(item) if (key is not None and checkpoint is not None) else None
+        for item in work
+    ]
+    results: list = [_UNSET] * len(work)
+    if checkpoint is not None:
+        for index, task_key in enumerate(keys):
+            if task_key is not None and task_key in checkpoint:
+                results[index] = checkpoint.get(task_key)
+    pending = [index for index in range(len(work)) if results[index] is _UNSET]
+
+    def record(index: int, value) -> None:
+        results[index] = value
+        if checkpoint is not None and keys[index] is not None:
+            checkpoint.put(keys[index], value)
+
+    count = min(resolve_workers(workers), len(pending))
+    if count > 1:
+        pending = _pool_rounds(
+            fn, work, pending, record, count, timeout, retries, backoff
+        )
+    # Serial path: first choice at one worker, last resort when the pool
+    # kept dying.  Failures still carry a traceback for parity with the
+    # pool path.
+    for index in pending:
+        ok, payload = _call_traced(fn, work[index])
+        if not ok:
+            _raise_task_failure(index, payload)
+        record(index, payload)
+    return results
+
+
+def _pool_rounds(
+    fn, work, pending, record, count, timeout, retries, backoff
+) -> list[int]:
+    """Run pool attempts with bounded retry; returns indices still unrun."""
+    from concurrent.futures import ProcessPoolExecutor, TimeoutError as PoolTimeout
+    from concurrent.futures.process import BrokenProcessPool
+
+    attempt = 0
+    while pending:
+        pool = ProcessPoolExecutor(max_workers=min(count, len(pending)))
+        done: list[int] = []
+        try:
+            futures = [
+                (index, pool.submit(_call_traced, fn, work[index]))
+                for index in pending
+            ]
+            for index, future in futures:
+                ok, payload = future.result(timeout=timeout)
+                if not ok:
+                    _raise_task_failure(index, payload)
+                record(index, payload)
+                done.append(index)
+        except (BrokenProcessPool, PoolTimeout, OSError):
+            pending = [index for index in pending if index not in set(done)]
+            attempt += 1
+            if attempt > retries:
+                return pending    # degrade to serial in the caller
+            time.sleep(backoff * (2 ** (attempt - 1)))
+            continue
+        finally:
+            # Never block on a wedged worker; lingering processes are
+            # reaped by the OS when they finish or die.
+            pool.shutdown(wait=False, cancel_futures=True)
+        return []
+    return []

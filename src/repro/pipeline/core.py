@@ -33,6 +33,7 @@ restored with the actual outcome.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.arch.predicates import PredicateFile
@@ -167,6 +168,12 @@ class PipelinedPE:
         self._decision_cache: dict[tuple, object] = {}
         self._state_version = 0   # bumps when in-flight queue bookings change
         self._sig_queues = self.inputs + self.outputs
+        #: Resilience seam: called with this PE at the top of every live
+        #: cycle (see :mod:`repro.resilience.faults`).  None costs one
+        #: attribute test per cycle.
+        self.fault_hook = None
+        #: Ring of the most recent (cycle, slot) issues, for forensic dumps.
+        self.recent_fires: deque[tuple[int, int]] = deque(maxlen=8)
 
     # ------------------------------------------------------------------
     # Host interface
@@ -216,6 +223,7 @@ class PipelinedPE:
         self._halt_pending = False
         self._decision_cache.clear()
         self._state_version += 1
+        self.recent_fires.clear()
 
     def commit_queues(self) -> None:
         for queue in self._sig_queues:
@@ -231,6 +239,8 @@ class PipelinedPE:
         if self.halted:
             return False
         self.counters.cycles += 1
+        if self.fault_hook is not None:
+            self.fault_hook(self)
         depth = self._depth
         decode_stage = self._decode_stage
         pipe = self._pipe
@@ -356,6 +366,7 @@ class PipelinedPE:
         self._next_seq += 1
         self._pipe[0] = entry
         self.counters.issued += 1
+        self.recent_fires.append((self.counters.cycles, slot))
 
         # Issue-time atomic predicate update (never survives a flush of
         # this instruction, so it touches only the live state).
@@ -568,3 +579,57 @@ class PipelinedPE:
             entry is not None and entry.meta.is_halt
             for entry in self._pipe
         )
+
+    # ------------------------------------------------------------------
+    # Forensics
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Structured microarchitectural state for forensic dumps.
+
+        Includes what the deadlock watchdog needs to explain a hang: the
+        in-flight pipeline registers, outstanding speculations, and the
+        scheduler-visible queue bookkeeping.
+        """
+        pipe = []
+        for stage, entry in enumerate(self._pipe):
+            if entry is None:
+                pipe.append(None)
+                continue
+            pipe.append(
+                {
+                    "stage": stage,
+                    "slot": entry.slot,
+                    "op": entry.meta.op.mnemonic,
+                    "seq": entry.seq,
+                    "captured": entry.captured,
+                    "result_ready": entry.result_ready,
+                }
+            )
+        return {
+            "name": self.name,
+            "model": "pipelined",
+            "config": self.config.name,
+            "halted": self.halted,
+            "halt_pending": self._halt_pending,
+            "cycles": self.counters.cycles,
+            "retired": self.counters.retired,
+            "issued": self.counters.issued,
+            "predicates": f"{self.preds.state:0{self.params.num_preds}b}",
+            "registers": list(self.regs.snapshot()),
+            "recent_fires": list(self.recent_fires),
+            "pipeline": pipe,
+            "speculations": [
+                {
+                    "owner_seq": spec.owner_seq,
+                    "pred_index": spec.pred_index,
+                    "predicted": spec.predicted,
+                }
+                for spec in self._specs
+            ],
+            "pending_deqs": list(self._queue_state.pending_deqs),
+            "sched_deqs": list(self._queue_state.sched_deqs),
+            "pending_enqs": list(self._queue_state.pending_enqs),
+            "inputs": [queue.snapshot() for queue in self.inputs],
+            "outputs": [queue.snapshot() for queue in self.outputs],
+        }

@@ -26,10 +26,18 @@ class PredicatePredictor:
         self.counters = [initial] * params.num_preds
         self.predictions = 0
         self.correct = 0
+        #: Fault-injection seam: when set, the next prediction is inverted
+        #: (and the flag consumed), forcing a misprediction/rollback at a
+        #: chosen cycle without touching the training state.
+        self.force_invert_next = False
 
     def predict(self, index: int) -> int:
         """Predicted value (0/1) for one predicate bit."""
-        return int(self.counters[index] >= self.WEAK_TAKEN)
+        predicted = int(self.counters[index] >= self.WEAK_TAKEN)
+        if self.force_invert_next:
+            self.force_invert_next = False
+            return predicted ^ 1
+        return predicted
 
     def record_outcome(self, index: int, actual: int) -> None:
         """Train on an actual datapath predicate write outcome.
@@ -60,3 +68,4 @@ class PredicatePredictor:
         self.counters = [self._initial] * self._params.num_preds
         self.predictions = 0
         self.correct = 0
+        self.force_invert_next = False

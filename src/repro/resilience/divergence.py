@@ -1,0 +1,105 @@
+"""Fast-path vs reference cross-checking.
+
+The compiled trigger/datapath fast path and the memoized scheduler
+(PR 1) are held bit-identical to the original dataclass walk by the
+equivalence test suite; this module makes the same check available *on
+demand* — as a campaign gate, a CI tripwire, and a debugging tool when a
+simulation result looks wrong.  It runs one workload twice on the same
+microarchitecture, once with ``fast_path=True`` and once with
+``fast_path=False``, and compares every piece of architecturally visible
+final state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DivergenceError
+from repro.params import ArchParams, DEFAULT_PARAMS
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.core import PipelinedPE
+from repro.workloads.suite import run_workload
+
+
+@dataclass
+class DivergenceReport:
+    """Field-by-field comparison of fast-path and reference runs."""
+
+    config: str
+    workload: str
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def diverged(self) -> bool:
+        return bool(self.mismatches)
+
+    def raise_if_diverged(self) -> None:
+        if self.diverged:
+            raise DivergenceError(
+                f"fast path diverged from reference on {self.workload!r} "
+                f"({self.config}): " + "; ".join(self.mismatches)
+            )
+
+
+def _final_state(run) -> dict:
+    worker = run.system.pe(run.worker_name)
+    counters = run.worker_counters
+    return {
+        "cycles": run.cycles,
+        "worker_cycles": counters.cycles,
+        "retired": counters.retired,
+        "issued": getattr(counters, "issued", None),
+        "stack": counters.stack() if hasattr(counters, "stack") else None,
+        "registers": tuple(worker.regs.snapshot()),
+        "predicates": worker.preds.state,
+        "memory_stores": run.system.memory.stores,
+    }
+
+
+def check_divergence(
+    config: PipelineConfig,
+    workload: str,
+    scale: int = 8,
+    seed: int = 0,
+    params: ArchParams = DEFAULT_PARAMS,
+) -> DivergenceReport:
+    """Run ``workload`` twice (fast and reference) and diff final state.
+
+    Both runs also validate against the workload's golden model inside
+    ``run_workload``, so a divergence that happens to corrupt both runs
+    identically is still caught there.
+    """
+    report = DivergenceReport(config=config.name, workload=workload)
+    states = {}
+    for fast in (True, False):
+        def factory(name: str, _fast=fast) -> PipelinedPE:
+            return PipelinedPE(config, params, name=name, fast_path=_fast)
+
+        run = run_workload(
+            workload, make_pe=factory, scale=scale, seed=seed, params=params
+        )
+        states[fast] = _final_state(run)
+    for key, fast_value in states[True].items():
+        ref_value = states[False][key]
+        if fast_value != ref_value:
+            report.mismatches.append(
+                f"{key}: fast={fast_value!r} reference={ref_value!r}"
+            )
+    return report
+
+
+def assert_no_divergence(
+    configs: list[PipelineConfig],
+    workloads: list[str],
+    scale: int = 8,
+    seed: int = 0,
+    params: ArchParams = DEFAULT_PARAMS,
+) -> list[DivergenceReport]:
+    """Cross-check a config x workload grid; raise on the first divergence."""
+    reports = []
+    for config in configs:
+        for workload in workloads:
+            report = check_divergence(config, workload, scale, seed, params)
+            report.raise_if_diverged()
+            reports.append(report)
+    return reports

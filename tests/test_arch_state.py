@@ -6,7 +6,7 @@ from hypothesis import given, strategies as st
 from repro.arch.predicates import PredicateFile
 from repro.arch.regfile import RegisterFile
 from repro.arch.scratchpad import Scratchpad
-from repro.errors import MemoryError_, SimulationError
+from repro.errors import SimMemoryError, SimulationError
 from repro.isa.instruction import PredUpdate
 from repro.params import DEFAULT_PARAMS as P
 
@@ -95,9 +95,9 @@ class TestScratchpad:
 
     def test_bounds(self):
         pad = Scratchpad(P)
-        with pytest.raises(MemoryError_):
+        with pytest.raises(SimMemoryError):
             pad.load(P.scratchpad_words)
-        with pytest.raises(MemoryError_):
+        with pytest.raises(SimMemoryError):
             pad.preload([0] * 10, base=P.scratchpad_words - 5)
 
     def test_store_truncates(self):

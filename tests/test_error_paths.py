@@ -1,0 +1,151 @@
+"""Error paths: source attribution, queue errors per status mode, and
+PE/cycle attribution on errors crossing the fabric boundary."""
+
+import pytest
+
+from repro.arch import FunctionalPE
+from repro.asm import assemble
+from repro.errors import (
+    AssemblerError,
+    ConfigError,
+    MemoryError_,
+    QueueError,
+    SimMemoryError,
+    SimulationError,
+    attribute_error,
+)
+from repro.fabric import System
+from repro.params import DEFAULT_PARAMS
+from repro.pipeline.config import PipelineConfig, QueuePolicy, config_by_name
+from repro.pipeline.core import PipelinedPE
+
+
+class TestAssemblerErrors:
+    def test_line_and_column_render_in_message(self):
+        err = AssemblerError("bad token", line=3, column=7)
+        assert err.line == 3 and err.column == 7
+        assert str(err).startswith("line 3:7: ")
+
+    def test_line_only(self):
+        err = AssemblerError("bad token", line=3)
+        assert err.column is None
+        assert str(err).startswith("line 3: ")
+
+    def test_unparseable_operand_reports_line(self):
+        with pytest.raises(AssemblerError, match="line") as info:
+            assemble("""
+            when %p == XXXXXXX0:
+                mov %q9, $1;
+            """)
+        assert info.value.line is not None
+
+    def test_duplicate_set_reports_line(self):
+        with pytest.raises(AssemblerError, match="duplicate") as info:
+            assemble("""
+            when %p == XXXXXXX0:
+                mov %r0, $1; set %p = ZZZZZZZ1; set %p = ZZZZZZZ0;
+            """)
+        assert info.value.line is not None
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(AssemblerError, match="no instructions"):
+            assemble("")
+
+
+class TestConfigErrors:
+    def test_duplicate_pe_names_rejected_with_name(self):
+        system = System()
+        system.add_pe(FunctionalPE(name="twin"))
+        with pytest.raises(ConfigError, match="duplicate.*twin"):
+            system.add_pe(FunctionalPE(name="twin"))
+
+    def test_unknown_partition_rejected(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            config_by_name("TX|D")
+
+    def test_bad_stage_partition_rejected(self):
+        with pytest.raises(ConfigError, match="partition"):
+            PipelineConfig(stages=(("T", "X"), ("D",)))
+
+    def test_bad_speculative_depth_rejected(self):
+        with pytest.raises(ConfigError, match="speculative_depth"):
+            PipelineConfig(stages=(("T", "D", "X"),), speculative_depth=0)
+
+
+POLICY_CONFIGS = {
+    QueuePolicy.CONSERVATIVE: "TD|X",
+    QueuePolicy.EFFECTIVE: "TD|X +Q",
+    QueuePolicy.PADDED: "TD|X +pad",
+}
+
+
+class TestQueueErrorsPerStatusMode:
+    """The raw queue guards hold under every scheduler accounting policy,
+    and their errors name the offending channel."""
+
+    @pytest.mark.parametrize(
+        "policy", list(POLICY_CONFIGS), ids=lambda p: p.value
+    )
+    def test_dequeue_empty_and_enqueue_full(self, policy):
+        config = config_by_name(POLICY_CONFIGS[policy])
+        assert config.queue_policy is policy
+        pe = PipelinedPE(config, DEFAULT_PARAMS, name="w")
+
+        with pytest.raises(QueueError, match="empty") as info:
+            pe.inputs[0].dequeue()
+        assert info.value.queue_name == "w.i0"
+
+        with pytest.raises(QueueError, match="peek") as info:
+            pe.inputs[1].peek(0)
+        assert info.value.queue_name == "w.i1"
+
+        out = pe.outputs[0]
+        for _ in range(out.capacity):    # staged entries count against space
+            out.enqueue(1)
+        with pytest.raises(QueueError, match="full") as info:
+            out.enqueue(2)
+        assert info.value.queue_name == "w.o0"
+
+    def test_bad_capacity_rejected(self):
+        from repro.arch.queue import TaggedQueue
+
+        with pytest.raises(QueueError, match="capacity"):
+            TaggedQueue(0, "q")
+
+
+class TestMemoryErrorRename:
+    def test_deprecated_alias_is_the_new_class(self):
+        assert MemoryError_ is SimMemoryError
+        assert issubclass(SimMemoryError, SimulationError)
+
+
+class TestAttribution:
+    def test_attribute_error_annotates_once(self):
+        exc = QueueError("overflow somewhere")
+        attributed = attribute_error(exc, "worker", 41)
+        assert attributed is exc
+        assert exc.pe_name == "worker" and exc.cycle == 41
+        assert "[pe=worker, cycle=41]" in str(exc)
+        # Re-attribution (an error crossing two boundaries) is a no-op.
+        attribute_error(exc, "other", 99)
+        assert exc.pe_name == "worker" and exc.cycle == 41
+        assert str(exc).count("[pe=") == 1
+
+    def test_error_escaping_system_step_names_pe_and_cycle(self, monkeypatch):
+        system = System()
+        pe = FunctionalPE(name="solo")
+        assemble("""
+        when %p == XXXXXXX0:
+            halt;
+        """).configure(pe)
+        system.add_pe(pe)
+
+        def bad_step():
+            raise SimulationError("synthetic failure")
+
+        monkeypatch.setattr(pe, "step", bad_step)
+        with pytest.raises(SimulationError, match="synthetic") as info:
+            system.run()
+        assert info.value.pe_name == "solo"
+        assert info.value.cycle == 0
+        assert "[pe=solo, cycle=0]" in str(info.value)

@@ -5,7 +5,7 @@ import pytest
 from repro.arch import FunctionalPE
 from repro.arch.queue import TaggedQueue
 from repro.asm import assemble
-from repro.errors import ConfigError, MemoryError_, SimulationError
+from repro.errors import ConfigError, SimMemoryError, SimulationError
 from repro.fabric import Memory, MemoryReadPort, MemoryWritePort, System
 
 
@@ -18,9 +18,9 @@ class TestMemory:
 
     def test_bounds(self):
         mem = Memory(8)
-        with pytest.raises(MemoryError_):
+        with pytest.raises(SimMemoryError):
             mem.load(8)
-        with pytest.raises(MemoryError_):
+        with pytest.raises(SimMemoryError):
             mem.store(-1, 0)
 
     def test_preload_and_dump(self):
@@ -78,7 +78,7 @@ class TestReadPort:
         assert values == [0, 1, 2]
 
     def test_rejects_zero_latency(self):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(SimMemoryError):
             MemoryReadPort(Memory(4), latency=0)
 
     def test_idle_flag(self):

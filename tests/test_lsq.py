@@ -5,7 +5,7 @@ import pytest
 from repro.arch import FunctionalPE
 from repro.arch.queue import TaggedQueue
 from repro.asm import assemble
-from repro.errors import MemoryError_
+from repro.errors import SimMemoryError
 from repro.fabric import Memory, System
 from repro.fabric.lsq import LoadStoreQueue
 
@@ -55,9 +55,9 @@ class TestLoads:
         assert results == [5, 6, 7]
 
     def test_rejects_bad_parameters(self):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(SimMemoryError):
             LoadStoreQueue(Memory(8), latency=0)
-        with pytest.raises(MemoryError_):
+        with pytest.raises(SimMemoryError):
             LoadStoreQueue(Memory(8), store_buffer_entries=0)
 
 
