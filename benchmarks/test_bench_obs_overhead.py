@@ -1,0 +1,93 @@
+"""Tracing-overhead guard for the observability layer.
+
+Two properties keep telemetry honest:
+
+* **disabled == free**: with no sink attached, the only instrumentation
+  cost is one ``is not None`` test per seam — simulation results must be
+  bit-identical to a run where the obs package was never imported, and
+  throughput must be unaffected beyond noise;
+* **enabled == bounded**: full event capture plus per-cycle fabric
+  sampling may slow the simulator, but only by a bounded constant
+  factor — a regression that makes tracing 10x slower would make the
+  instrumented campaigns useless.
+"""
+
+import time
+
+from repro.asm import assemble
+from repro.obs import Telemetry, run_instrumented
+from repro.pipeline import PipelinedPE, config_by_name
+from repro.workloads.suite import run_workload
+
+CONFIG = config_by_name("T|D|X1|X2 +P+Q")
+
+LOOP = """
+when %p == XXXXXXX0:
+    ult %p1, %r0, $1000000; set %p = ZZZZZZZ1;
+when %p == XXXXXX11:
+    add %r0, %r0, $1; set %p = ZZZZZZ00;
+when %p == XXXXXX01:
+    halt;
+"""
+
+
+def _loop_throughput(cycles: int, telemetry: Telemetry | None) -> float:
+    """Best-of-3 cycles/sec for the register loop, optionally traced."""
+    best = 0.0
+    for _ in range(3):
+        pe = PipelinedPE(CONFIG, name="bench")
+        assemble(LOOP).configure(pe)
+        if telemetry is not None:
+            telemetry.attach_pe(pe)
+        start = time.perf_counter()
+        for _ in range(cycles):
+            pe.step()
+            pe.commit_queues()
+        elapsed = time.perf_counter() - start
+        if telemetry is not None:
+            telemetry.detach()
+        best = max(best, cycles / elapsed)
+    return best
+
+
+def test_disabled_telemetry_is_bit_identical():
+    """The load-bearing guarantee: attaching telemetry never changes
+    simulated behavior, so *not* attaching it cannot either."""
+    def factory(name):
+        return PipelinedPE(CONFIG, name=name)
+
+    bare = run_workload("string_search", make_pe=factory, scale=12, seed=0)
+    traced = run_instrumented("string_search", config=CONFIG, scale=12, seed=0)
+    assert bare.cycles == traced.cycles
+    assert bare.worker_counters.as_dict() == traced.worker_counters.as_dict()
+    for pe in bare.system.pes:
+        twin = traced.system.pe(pe.name)
+        assert pe.counters.as_dict() == twin.counters.as_dict()
+
+
+def test_enabled_telemetry_overhead_bounded(benchmark):
+    """Event capture costs something, but a bounded constant factor."""
+    cycles = 20_000
+    off = _loop_throughput(cycles, None)
+    sink = Telemetry()
+    on = benchmark.pedantic(
+        lambda: _loop_throughput(cycles, sink), rounds=1, iterations=1
+    )
+    overhead = off / on
+    print(f"\ntelemetry off: {off:12,.0f} cycles/sec")
+    print(f"telemetry on : {on:12,.0f} cycles/sec ({overhead:.2f}x overhead)")
+    # Generous bound: tracing must never cost an order of magnitude.
+    assert overhead < 6.0, (
+        f"telemetry overhead {overhead:.2f}x exceeds the 6x guard"
+    )
+
+
+def test_disabled_seam_cost_is_noise():
+    """A run with the seams compiled in but no sink attached must match
+    the throughput of an identical second run (both uninstrumented) —
+    i.e. the seams themselves cost nothing measurable beyond jitter."""
+    cycles = 20_000
+    first = _loop_throughput(cycles, None)
+    second = _loop_throughput(cycles, None)
+    ratio = max(first, second) / min(first, second)
+    assert ratio < 1.5, f"uninstrumented throughput unstable ({ratio:.2f}x)"

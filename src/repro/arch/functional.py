@@ -60,6 +60,22 @@ class FunctionalCounters:
             return 0.0
         return self.predicate_writes / self.retired
 
+    def as_dict(self) -> dict:
+        """JSON-ready view (Counters become plain dicts)."""
+        return {
+            "cycles": self.cycles,
+            "retired": self.retired,
+            "none_triggered": self.none_triggered,
+            "predicate_writes": self.predicate_writes,
+            "enqueues": self.enqueues,
+            "dequeues": self.dequeues,
+            "retired_by_op": dict(self.retired_by_op),
+            "retired_by_slot": {
+                str(slot): count
+                for slot, count in self.retired_by_slot.items()
+            },
+        }
+
 
 class FunctionalPE:
     """One processing element executing at one instruction per cycle."""
@@ -104,6 +120,10 @@ class FunctionalPE:
         #: cycle (see :mod:`repro.resilience.faults`).  None costs one
         #: attribute test per cycle.
         self.fault_hook = None
+        #: Observability seam: a :class:`repro.obs.events.Telemetry` sink
+        #: receiving retire events, or ``None`` (one attribute test per
+        #: cycle, like ``fault_hook``).
+        self.telemetry = None
         #: Ring of the most recent (cycle, slot) fires, for forensic dumps.
         self.recent_fires: deque[tuple[int, int]] = deque(maxlen=8)
 
@@ -162,6 +182,8 @@ class FunctionalPE:
         self.counters.cycles += 1
         if self.fault_hook is not None:
             self.fault_hook(self)
+        if self.telemetry is not None:
+            self.telemetry.now = self.counters.cycles
         signature = 0
         for queue in self._sig_queues:
             signature += queue.version
@@ -234,6 +256,12 @@ class FunctionalPE:
         self.counters.retired_by_op[meta.op.mnemonic] += 1
         self.counters.retired_by_slot[slot] += 1
         self.recent_fires.append((self.counters.cycles, slot))
+        if self.telemetry is not None:
+            # The functional model issues and retires in the same cycle,
+            # so one retire event carries the whole story.
+            self.telemetry.emit(
+                "retire", self.name, slot=slot, op=meta.op.mnemonic
+            )
 
     def snapshot_state(self) -> dict:
         """Structured architectural state for forensic dumps."""

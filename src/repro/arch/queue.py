@@ -35,6 +35,11 @@ class QueueEntry:
 class TaggedQueue:
     """A bounded FIFO of tagged words with staged enqueue."""
 
+    #: Observability seam: a :class:`repro.obs.events.Telemetry` sink, or
+    #: ``None``.  A class attribute so uninstrumented queues carry no
+    #: per-instance storage; attaching telemetry shadows it per instance.
+    telemetry = None
+
     def __init__(self, capacity: int, name: str = "") -> None:
         if capacity <= 0:
             raise QueueError(f"queue capacity must be positive, got {capacity}")
@@ -70,6 +75,8 @@ class TaggedQueue:
             )
         self._staged.append(QueueEntry(value, tag))
         self.version += 1
+        if self.telemetry is not None:
+            self.telemetry.emit("enqueue", self.name, value=value, tag=tag)
 
     # -- consumer side --------------------------------------------------
 
@@ -106,7 +113,12 @@ class TaggedQueue:
                 queue_name=self.name,
             )
         self.version += 1
-        return self._live.popleft()
+        entry = self._live.popleft()
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "dequeue", self.name, value=entry.value, tag=entry.tag
+            )
+        return entry
 
     # -- simulation control ----------------------------------------------
 

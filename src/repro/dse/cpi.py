@@ -137,6 +137,7 @@ class CpiTable:
         self,
         configs: list[PipelineConfig],
         workers: int | None = None,
+        profile=None,
     ) -> None:
         """Simulate every config not already in the table, in parallel.
 
@@ -149,6 +150,10 @@ class CpiTable:
         and when a disk cache path is configured, per-config results are
         checkpointed beside it so an interrupted campaign resumes from
         the configs already simulated instead of restarting.
+
+        ``profile`` (a :class:`repro.obs.campaign.CampaignProfile`)
+        records per-config wall-clock and worker utilization without
+        changing any result.
         """
         missing = [c for c in configs if c.name not in self._cpi]
         if not missing:
@@ -167,6 +172,7 @@ class CpiTable:
             workers,
             checkpoint=checkpoint,
             key=lambda task: task[0].name,
+            profile=profile,
         )
         for name, cpi, stack in results:
             self._cpi[name] = cpi

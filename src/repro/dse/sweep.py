@@ -76,6 +76,7 @@ def sweep(
     tech: Technology = TECH65,
     include_fmax_points: bool = True,
     workers: int | None = None,
+    profile=None,
 ) -> list[DesignPoint]:
     """Close every feasible design point in the characterized space.
 
@@ -86,6 +87,10 @@ def sweep(
     identical at any worker count; killed workers are retried (the
     :func:`repro.parallel.resilient_map` policy), degrading to serial
     execution if the pool keeps dying.
+
+    ``profile`` (a :class:`repro.obs.campaign.CampaignProfile`)
+    accumulates per-task timing across *both* phases — the CPI campaign
+    and the synthesis closure — into one structured campaign report.
     """
     if configs is None:
         configs = all_configs()
@@ -93,12 +98,12 @@ def sweep(
         cpi_table = CpiTable()
     # Fill the CPI table first (parallel across configs) so the closure
     # tasks below are cheap, pure and picklable.
-    cpi_table.populate(configs, workers=workers)
+    cpi_table.populate(configs, workers=workers, profile=profile)
     tasks = [
         (config, cpi_table.cpi(config), tech, include_fmax_points)
         for config in configs
     ]
-    per_config = resilient_map(_close_config, tasks, workers)
+    per_config = resilient_map(_close_config, tasks, workers, profile=profile)
     points: list[DesignPoint] = []
     for sublist in per_config:
         points.extend(sublist)

@@ -48,6 +48,9 @@ class _BufferedStore:
 class LoadStoreQueue:
     """A unified, per-PE memory endpoint with decoupled loads."""
 
+    #: Observability seam (``port_grant`` events); ``None`` when off.
+    telemetry = None
+
     def __init__(
         self,
         memory: Memory,
@@ -116,6 +119,11 @@ class LoadStoreQueue:
             address = self.store_address.dequeue().value
             value = self.store_data.dequeue().value
             self._store_buffer.append(_BufferedStore(address, value))
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "port_grant", self.name, op="store", address=address,
+                    value=value,
+                )
 
         # 4. Accept a new load.  Matching buffered stores forward their
         # value; the load still pays the pipeline latency (the datapath
@@ -133,6 +141,11 @@ class LoadStoreQueue:
             else:
                 value = self.memory.load(request.value)
             self.loads_issued += 1
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "port_grant", self.name, op="load", address=request.value,
+                    tag=request.tag, forwarded=forwarded is not None,
+                )
             self._in_flight.append(
                 _PendingLoad(
                     ready_at=self._now + self.latency,

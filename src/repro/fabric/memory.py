@@ -81,6 +81,9 @@ class _InFlightLoad:
 class MemoryReadPort:
     """A pipelined load endpoint: address queue in, data queue out."""
 
+    #: Observability seam (``port_grant`` events); ``None`` when off.
+    telemetry = None
+
     def __init__(self, memory: Memory, latency: int = 4, name: str = "rdport") -> None:
         if latency < 1:
             raise SimMemoryError("read latency must be at least one cycle")
@@ -118,6 +121,11 @@ class MemoryReadPort:
                         tag=entry.tag,
                     )
                 )
+                if self.telemetry is not None:
+                    self.telemetry.emit(
+                        "port_grant", self.name, op="load",
+                        address=entry.value, tag=entry.tag,
+                    )
 
     @property
     def idle(self) -> bool:
@@ -130,6 +138,9 @@ class MemoryWritePort:
     ``stream``-style workloads drive the two queues from different PEs;
     single-PE workloads interleave address and data words themselves.
     """
+
+    #: Observability seam (``port_grant`` events); ``None`` when off.
+    telemetry = None
 
     def __init__(self, memory: Memory, name: str = "wrport") -> None:
         self.memory = memory
@@ -150,6 +161,11 @@ class MemoryWritePort:
             data = self.data.dequeue()
             self.memory.store(address.value, data.value)
             self.stores_accepted += 1
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "port_grant", self.name, op="store",
+                    address=address.value, value=data.value,
+                )
 
     @property
     def idle(self) -> bool:

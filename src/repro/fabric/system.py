@@ -40,6 +40,15 @@ class System:
         #: Optional per-cycle invariant checker (resilience layer); when
         #: set, :meth:`step` calls it at every cycle boundary.
         self.invariant_checker = None
+        #: Optional telemetry sink (observability layer); when set,
+        #: :meth:`step` samples fabric state at every cycle boundary.
+        #: Attach via :meth:`repro.obs.events.Telemetry.attach_system`.
+        self.telemetry = None
+        #: Opt-in cycle-accounting audit: when enabled (see
+        #: :meth:`enable_counter_checks`), :meth:`run` verifies every
+        #: PE's ``PipelineCounters.check_consistency`` after completion,
+        #: so accounting leaks fail loudly instead of skewing CPI stacks.
+        self.counter_checks = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -183,6 +192,16 @@ class System:
         """Enable opt-in per-cycle invariant checking (resilience layer)."""
         self.invariant_checker = checker
 
+    def enable_counter_checks(self, enabled: bool = True) -> None:
+        """Opt into end-of-run cycle-accounting verification.
+
+        Like :meth:`attach_invariant_checker`, this is off by default;
+        tests and campaigns that want accounting leaks to fail loudly
+        flip it on, and :meth:`run` then calls every PE counter block's
+        ``check_consistency`` once the run completes.
+        """
+        self.counter_checks = enabled
+
     def step(self) -> bool:
         """Advance the whole system one cycle; True if anything progressed."""
         progressed = False
@@ -213,6 +232,8 @@ class System:
         self.cycles += 1
         if self.invariant_checker is not None:
             self.invariant_checker.check_system(self)
+        if self.telemetry is not None:
+            self.telemetry.sample_system(self)
         return progressed
 
     @property
@@ -255,11 +276,28 @@ class System:
         # Let in-flight memory traffic land (stores issued just before halt).
         for _ in range(flush_limit):
             if self.ports_idle:
+                self._finish_run()
                 return self.cycles
             self.step()
         raise self._deadlock_error(
             f"memory ports still busy {flush_limit} cycles after halt"
         )
+
+    def _finish_run(self) -> None:
+        """End-of-run bookkeeping: telemetry close-out, counter audits."""
+        if self.telemetry is not None:
+            self.telemetry.finish()
+        if self.counter_checks:
+            for pe in self.pes:
+                check = getattr(pe.counters, "check_consistency", None)
+                if check is None:
+                    continue
+                try:
+                    check()
+                except AssertionError as exc:
+                    raise attribute_error(
+                        SimulationError(str(exc)), pe.name, self.cycles
+                    )
 
     def forensic_report(self) -> dict:
         """Structured dump of everything a hang post-mortem needs."""

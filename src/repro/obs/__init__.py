@@ -1,0 +1,35 @@
+"""Unified observability: event bus, metrics registry, trace exporters,
+and campaign profiling.
+
+The layer is strictly opt-in — nothing is recorded (and nothing is paid
+beyond a ``None`` test at each seam) until a :class:`Telemetry` sink is
+attached — and strictly read-only: instrumented runs are bit-identical
+to uninstrumented ones.
+
+    from repro.obs import Telemetry, MetricsRegistry, run_instrumented
+
+    run = run_instrumented("stream", config_by_name("T|D|X1|X2 +P+Q"))
+    print(run.metrics.format())                 # cross-PE metrics report
+    run.metrics.to_json("metrics.json")         # structured export
+    export_chrome_trace(run.telemetry, "trace.json", run.system)
+
+``python -m repro.obs`` wraps the same flow as a CLI.
+"""
+
+from repro.obs.campaign import CampaignProfile, format_campaign_report
+from repro.obs.events import Telemetry, TelemetryEvent
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runner import InstrumentedRun, run_instrumented
+from repro.obs.trace_export import chrome_trace, export_chrome_trace
+
+__all__ = [
+    "CampaignProfile",
+    "format_campaign_report",
+    "Telemetry",
+    "TelemetryEvent",
+    "MetricsRegistry",
+    "InstrumentedRun",
+    "run_instrumented",
+    "chrome_trace",
+    "export_chrome_trace",
+]

@@ -1,0 +1,229 @@
+"""CLI: instrumented workload runs and the observability smoke gate.
+
+Render the cross-PE metrics report for one workload::
+
+    PYTHONPATH=src python -m repro.obs --workload stream \\
+        --config "T|D|X1|X2 +P+Q"
+
+Export artifacts::
+
+    python -m repro.obs --workload merge --report metrics.json \\
+        --trace trace.json          # Chrome/Perfetto trace-event JSON
+
+``python -m repro.obs --smoke`` is the CI gate: it checks the
+event/counter identities, validates the trace export as round-trip
+JSON, and verifies that a telemetry-enabled run leaves simulation
+results bit-identical to an uninstrumented one.  Exit status is
+non-zero on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+from repro.dse.cpi import CpiTable
+from repro.obs.campaign import CampaignProfile, format_campaign_report
+from repro.obs.events import Telemetry
+from repro.obs.runner import run_instrumented
+from repro.obs.trace_export import export_chrome_trace
+from repro.pipeline.config import all_configs, config_by_name
+from repro.workloads.suite import WORKLOADS, run_workload
+
+
+def _run(args) -> int:
+    config = config_by_name(args.config) if args.config else None
+    run = run_instrumented(
+        args.workload,
+        config=config,
+        scale=args.scale,
+        seed=args.seed,
+        telemetry=Telemetry(limit=args.event_limit),
+        check_counters=args.check_counters,
+    )
+    print(
+        f"{args.workload} @ {args.config or 'functional'}: "
+        f"{run.cycles} cycles, result validated"
+    )
+    print(run.metrics.format())
+    if args.report:
+        if args.report == "-":
+            print(run.metrics.to_json())
+        else:
+            run.metrics.to_json(args.report)
+            print(f"wrote metrics report to {args.report}")
+    if args.trace:
+        trace = export_chrome_trace(run.telemetry, args.trace, run.system)
+        print(
+            f"wrote {len(trace['traceEvents'])} trace events to "
+            f"{args.trace} (open in Perfetto / chrome://tracing)"
+        )
+    return 0
+
+
+def _fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def _smoke(args) -> int:
+    """The CI gate; every check prints what it verified."""
+    scale = args.scale or int(os.environ.get("REPRO_BENCH_SCALE", "8"))
+    config = config_by_name(args.config or "T|D|X1|X2 +P+Q")
+    workloads = args.workloads or ["stream", "string_search"]
+    print(
+        f"observability gate: scale={scale} seed={args.seed} "
+        f"config={config.name!r} workloads={workloads}"
+    )
+
+    for workload in workloads:
+        print(f"\n[{workload}] instrumented run...")
+        run = run_instrumented(
+            workload, config=config, scale=scale, seed=args.seed,
+            check_counters=True,
+        )
+        telemetry = run.telemetry
+
+        # 1. Metrics JSON round-trips and is self-consistent.
+        decoded = json.loads(run.metrics.to_json())
+        if decoded["aggregate"]["retired"] <= 0:
+            return _fail(f"{workload}: nothing retired in metrics snapshot")
+        if not decoded["queues"]:
+            return _fail(f"{workload}: no queue timelines sampled")
+        per_pe_retired = sum(
+            entry["counters"]["retired"] for entry in decoded["pes"].values()
+        )
+        if per_pe_retired != decoded["aggregate"]["retired"]:
+            return _fail(f"{workload}: aggregate retired != per-PE sum")
+
+        # 2. Event/counter identities.
+        issued = sum(
+            pe.counters.issued for pe in run.system.pes
+            if hasattr(pe.counters, "issued")
+        )
+        retired = sum(pe.counters.retired for pe in run.system.pes)
+        counts = telemetry.event_counts
+        if counts.get("issue", 0) != issued:
+            return _fail(
+                f"{workload}: {counts.get('issue', 0)} issue events vs "
+                f"{issued} issued counted"
+            )
+        if counts.get("retire", 0) != retired:
+            return _fail(
+                f"{workload}: {counts.get('retire', 0)} retire events vs "
+                f"{retired} retired counted"
+            )
+        print(
+            f"  metrics ok: {retired} retired, "
+            f"{len(decoded['queues'])} queues, "
+            f"{len(counts)} event kinds, identities hold"
+        )
+
+        # 3. Trace export round-trips as JSON with real content.
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "trace.json")
+            export_chrome_trace(telemetry, path, run.system)
+            with open(path, encoding="utf-8") as handle:
+                trace = json.load(handle)
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        counters_events = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        if not spans or not counters_events:
+            return _fail(
+                f"{workload}: trace export missing spans or counters "
+                f"({len(spans)} X, {len(counters_events)} C)"
+            )
+        print(
+            f"  trace ok: {len(spans)} stage spans, "
+            f"{len(counters_events)} queue counter samples"
+        )
+
+        # 4. Telemetry-disabled runs are bit-identical.
+        def factory(name, config=config):
+            from repro.pipeline.core import PipelinedPE
+
+            return PipelinedPE(config, name=name)
+
+        bare = run_workload(
+            workload, make_pe=factory, scale=scale, seed=args.seed
+        )
+        if bare.cycles != run.cycles:
+            return _fail(
+                f"{workload}: instrumented run took {run.cycles} cycles, "
+                f"bare run {bare.cycles}"
+            )
+        if bare.worker_counters.as_dict() != run.worker_counters.as_dict():
+            return _fail(f"{workload}: worker counters diverge under telemetry")
+        print(f"  bit-identical: {bare.cycles} cycles with telemetry on or off")
+
+    # 5. Campaign profiling on a tiny CPI campaign.
+    print("\n[campaign] profiled CPI campaign (2 configs)...")
+    profile = CampaignProfile(label="smoke-cpi")
+    table = CpiTable(scale=min(scale, 8))
+    table.populate(all_configs()[:2], workers=1, profile=profile)
+    report = profile.report()
+    if report["completed_tasks"] != 2:
+        return _fail(
+            f"campaign profile recorded {report['completed_tasks']} tasks, "
+            "expected 2"
+        )
+    if report["worker_utilization"] is None:
+        return _fail("campaign profile has no utilization")
+    print(format_campaign_report(report))
+
+    print(f"\nobservability gate passed ({len(workloads)} workloads)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="instrumented workload runs, metrics reports, and "
+                    "Chrome/Perfetto trace export",
+    )
+    parser.add_argument(
+        "--workload", default="stream", choices=WORKLOADS(),
+        help="workload to run (default: stream)",
+    )
+    parser.add_argument(
+        "--config", default=None,
+        help='pipeline config name, e.g. "T|D|X1|X2 +P+Q" '
+             "(default: functional model; smoke default: T|D|X1|X2 +P+Q)",
+    )
+    parser.add_argument("--scale", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the metrics JSON ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a Chrome trace-event / Perfetto JSON file",
+    )
+    parser.add_argument(
+        "--check-counters", action="store_true",
+        help="verify per-PE cycle accounting after the run",
+    )
+    parser.add_argument(
+        "--event-limit", type=int, default=1 << 20,
+        help="telemetry event buffer bound",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the CI smoke gate (identities, trace round-trip, "
+             "bit-identical disabled path, campaign profiling)",
+    )
+    parser.add_argument(
+        "--workloads", nargs="+", default=None,
+        help="smoke-gate workload list (default: stream string_search)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return _smoke(args)
+    return _run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

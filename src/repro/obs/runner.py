@@ -1,0 +1,77 @@
+"""One-call instrumented workload execution.
+
+Glue between the workload registry and the observability layer: build a
+workload's system, attach a :class:`~repro.obs.events.Telemetry` sink
+*after* wiring (the fabric replaces queue objects while wiring, so
+attach order matters), run to completion, validate against the golden
+model, and hand back everything the reporting layers need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.events import Telemetry
+from repro.obs.metrics import MetricsRegistry
+from repro.params import ArchParams, DEFAULT_PARAMS
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.core import PipelinedPE
+from repro.workloads.suite import get_workload
+
+
+@dataclass
+class InstrumentedRun:
+    """Outcome of one telemetry-enabled workload execution."""
+
+    workload: str
+    cycles: int
+    system: object
+    telemetry: Telemetry
+    metrics: MetricsRegistry
+
+    @property
+    def worker_counters(self):
+        return self.system.pe("worker").counters
+
+
+def run_instrumented(
+    workload: str,
+    config: PipelineConfig | None = None,
+    scale: int | None = None,
+    seed: int = 0,
+    params: ArchParams = DEFAULT_PARAMS,
+    telemetry: Telemetry | None = None,
+    check_counters: bool = False,
+    max_cycles: int = 4_000_000,
+) -> InstrumentedRun:
+    """Run one workload with telemetry attached; validates the result.
+
+    ``config`` selects the pipelined microarchitecture for every PE;
+    ``None`` runs the functional model.  A caller-supplied ``telemetry``
+    sink is used as-is (e.g. to set limits or sampling interval).
+    """
+    instance = get_workload(workload, params)
+    if config is None:
+        make_pe = instance.default_pe_factory()
+    else:
+        def make_pe(name: str) -> PipelinedPE:
+            return PipelinedPE(config, params, name=name)
+
+    if scale is None:
+        scale = instance.default_scale
+    if telemetry is None:
+        telemetry = Telemetry()
+    system = instance.build(make_pe, scale, seed)
+    telemetry.attach_system(system)
+    if check_counters:
+        system.enable_counter_checks()
+    cycles = system.run(max_cycles=max_cycles)
+    instance.check(system, scale, seed)
+    telemetry.finish()
+    return InstrumentedRun(
+        workload=workload,
+        cycles=cycles,
+        system=system,
+        telemetry=telemetry,
+        metrics=MetricsRegistry.from_system(system, telemetry),
+    )

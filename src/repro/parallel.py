@@ -161,12 +161,23 @@ class Checkpoint:
 
 
 def _call_traced(fn, item):
-    """Worker-side wrapper: capture the full traceback across the pickle
-    boundary (module level so it pickles)."""
+    """Worker-side wrapper: capture the full traceback and the task's
+    wall-clock across the pickle boundary (module level so it pickles).
+
+    The timing rides back with every result so campaign profiling
+    (:class:`repro.obs.campaign.CampaignProfile`) measures task cost
+    inside the worker, unpolluted by pool scheduling; it is dropped on
+    the floor when no profile is attached.
+    """
+    start = time.perf_counter()
     try:
-        return (True, fn(item))
+        return (True, fn(item), time.perf_counter() - start)
     except Exception as exc:
-        return (False, (type(exc).__name__, str(exc), traceback.format_exc()))
+        return (
+            False,
+            (type(exc).__name__, str(exc), traceback.format_exc()),
+            time.perf_counter() - start,
+        )
 
 
 def _raise_task_failure(index: int, failure) -> None:
@@ -187,6 +198,7 @@ def resilient_map(
     backoff: float = 0.25,
     checkpoint: Checkpoint | None = None,
     key: Callable[[_T], str] | None = None,
+    profile=None,
 ) -> list[_R]:
     """Hardened order-preserving map for long campaigns.
 
@@ -205,6 +217,10 @@ def resilient_map(
     * With ``checkpoint`` and ``key``, completed results are persisted
       as they land and skipped on resume; results computed before an
       interruption are never re-simulated.
+    * With ``profile`` (a :class:`repro.obs.campaign.CampaignProfile`),
+      per-task wall-clock, worker utilization, retry/timeout counts and
+      checkpoint hits are recorded — observation only, results are
+      unchanged.
 
     Results are identical to ``[fn(x) for x in items]`` at any worker
     count, on any retry path.
@@ -219,31 +235,44 @@ def resilient_map(
         for index, task_key in enumerate(keys):
             if task_key is not None and task_key in checkpoint:
                 results[index] = checkpoint.get(task_key)
+                if profile is not None:
+                    profile.checkpoint_hit()
     pending = [index for index in range(len(work)) if results[index] is _UNSET]
 
-    def record(index: int, value) -> None:
+    def record(index: int, value, seconds: float) -> None:
         results[index] = value
         if checkpoint is not None and keys[index] is not None:
             checkpoint.put(keys[index], value)
+        if profile is not None:
+            profile.task_done(index, keys[index], seconds)
 
     count = min(resolve_workers(workers), len(pending))
-    if count > 1:
-        pending = _pool_rounds(
-            fn, work, pending, record, count, timeout, retries, backoff
-        )
-    # Serial path: first choice at one worker, last resort when the pool
-    # kept dying.  Failures still carry a traceback for parity with the
-    # pool path.
-    for index in pending:
-        ok, payload = _call_traced(fn, work[index])
-        if not ok:
-            _raise_task_failure(index, payload)
-        record(index, payload)
+    if profile is not None:
+        profile.begin(total=len(work), workers=max(count, 1))
+    try:
+        if count > 1:
+            pending = _pool_rounds(
+                fn, work, pending, record, count, timeout, retries, backoff,
+                profile,
+            )
+            if pending and profile is not None:
+                profile.degraded_to_serial()
+        # Serial path: first choice at one worker, last resort when the
+        # pool kept dying.  Failures still carry a traceback for parity
+        # with the pool path.
+        for index in pending:
+            ok, payload, seconds = _call_traced(fn, work[index])
+            if not ok:
+                _raise_task_failure(index, payload)
+            record(index, payload, seconds)
+    finally:
+        if profile is not None:
+            profile.finish()
     return results
 
 
 def _pool_rounds(
-    fn, work, pending, record, count, timeout, retries, backoff
+    fn, work, pending, record, count, timeout, retries, backoff, profile=None
 ) -> list[int]:
     """Run pool attempts with bounded retry; returns indices still unrun."""
     from concurrent.futures import ProcessPoolExecutor, TimeoutError as PoolTimeout
@@ -259,12 +288,16 @@ def _pool_rounds(
                 for index in pending
             ]
             for index, future in futures:
-                ok, payload = future.result(timeout=timeout)
+                ok, payload, seconds = future.result(timeout=timeout)
                 if not ok:
                     _raise_task_failure(index, payload)
-                record(index, payload)
+                record(index, payload, seconds)
                 done.append(index)
-        except (BrokenProcessPool, PoolTimeout, OSError):
+        except (BrokenProcessPool, PoolTimeout, OSError) as exc:
+            if profile is not None:
+                if isinstance(exc, PoolTimeout):
+                    profile.timeout()
+                profile.pool_retry()
             pending = [index for index in pending if index not in set(done)]
             attempt += 1
             if attempt > retries:

@@ -94,6 +94,20 @@ class _InFlight:
         self.writes_pred = meta.writes_pred
 
 
+@dataclass(frozen=True, slots=True)
+class StageOccupant:
+    """Public view of one pipeline stage's occupant (see
+    :meth:`PipelinedPE.stage_snapshot`)."""
+
+    stage: int
+    slot: int
+    seq: int
+    op: str
+    label: str
+    captured: bool
+    result_ready: bool
+
+
 @dataclass(slots=True)
 class _Speculation:
     """One outstanding predicate prediction."""
@@ -172,6 +186,10 @@ class PipelinedPE:
         #: cycle (see :mod:`repro.resilience.faults`).  None costs one
         #: attribute test per cycle.
         self.fault_hook = None
+        #: Observability seam: a :class:`repro.obs.events.Telemetry` sink
+        #: receiving issue/retire/quash/rollback events, or ``None``
+        #: (one attribute test per cycle, like ``fault_hook``).
+        self.telemetry = None
         #: Ring of the most recent (cycle, slot) issues, for forensic dumps.
         self.recent_fires: deque[tuple[int, int]] = deque(maxlen=8)
 
@@ -241,6 +259,8 @@ class PipelinedPE:
         self.counters.cycles += 1
         if self.fault_hook is not None:
             self.fault_hook(self)
+        if self.telemetry is not None:
+            self.telemetry.now = self.counters.cycles
         depth = self._depth
         decode_stage = self._decode_stage
         pipe = self._pipe
@@ -367,6 +387,11 @@ class PipelinedPE:
         self._pipe[0] = entry
         self.counters.issued += 1
         self.recent_fires.append((self.counters.cycles, slot))
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "issue", self.name, slot=slot, op=meta.op.mnemonic,
+                seq=entry.seq,
+            )
 
         # Issue-time atomic predicate update (never survives a flush of
         # this instruction, so it touches only the live state).
@@ -513,6 +538,11 @@ class PipelinedPE:
         self.counters.retired += 1
         self.counters.retired_by_op[meta.op.mnemonic] += 1
         self.counters.retired_by_slot[entry.slot] += 1
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "retire", self.name, slot=entry.slot, op=meta.op.mnemonic,
+                seq=entry.seq,
+            )
 
     def _commit_predicate_write(self, entry: _InFlight, actual: int) -> None:
         self.counters.predicate_writes += 1
@@ -550,6 +580,12 @@ class PipelinedPE:
             self._specs.remove(spec)
             return
         self.counters.mispredictions += 1
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "rollback", self.name, pred_index=index,
+                predicted=spec.predicted, actual=actual,
+                owner_seq=spec.owner_seq,
+            )
         self._flush_younger_than(spec.owner_seq)
         self._specs = [s for s in self._specs if s.owner_seq < spec.owner_seq]
         restored = spec.fallback
@@ -575,14 +611,46 @@ class PipelinedPE:
                 self._state_version += 1
             self._pipe[stage] = None
             self.counters.quashed += 1
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "quash", self.name, slot=entry.slot, seq=entry.seq,
+                    stage=stage,
+                )
         self._halt_pending = any(
             entry is not None and entry.meta.is_halt
             for entry in self._pipe
         )
 
     # ------------------------------------------------------------------
-    # Forensics
+    # Observability / forensics
     # ------------------------------------------------------------------
+
+    def stage_snapshot(self) -> tuple[StageOccupant | None, ...]:
+        """Public read-only view of the pipeline registers, one entry per
+        stage (``None`` for an empty stage).
+
+        This is the supported way to inspect in-flight state — the
+        tracer, the telemetry sampler, and the trace exporters all read
+        it — so external tooling never reaches into the private pipe.
+        Sampling is non-invasive: nothing simulated changes.
+        """
+        snapshot = []
+        for stage, entry in enumerate(self._pipe):
+            if entry is None:
+                snapshot.append(None)
+                continue
+            snapshot.append(
+                StageOccupant(
+                    stage=stage,
+                    slot=entry.slot,
+                    seq=entry.seq,
+                    op=entry.meta.op.mnemonic,
+                    label=entry.ins.label.split("@")[0] or "?",
+                    captured=entry.captured,
+                    result_ready=entry.result_ready,
+                )
+            )
+        return tuple(snapshot)
 
     def snapshot_state(self) -> dict:
         """Structured microarchitectural state for forensic dumps.
@@ -592,18 +660,18 @@ class PipelinedPE:
         scheduler-visible queue bookkeeping.
         """
         pipe = []
-        for stage, entry in enumerate(self._pipe):
-            if entry is None:
+        for occupant in self.stage_snapshot():
+            if occupant is None:
                 pipe.append(None)
                 continue
             pipe.append(
                 {
-                    "stage": stage,
-                    "slot": entry.slot,
-                    "op": entry.meta.op.mnemonic,
-                    "seq": entry.seq,
-                    "captured": entry.captured,
-                    "result_ready": entry.result_ready,
+                    "stage": occupant.stage,
+                    "slot": occupant.slot,
+                    "op": occupant.op,
+                    "seq": occupant.seq,
+                    "captured": occupant.captured,
+                    "result_ready": occupant.result_ready,
                 }
             )
         return {

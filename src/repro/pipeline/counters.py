@@ -78,6 +78,29 @@ class PipelineCounters:
             "none_triggered": self.none_triggered_cycles / self.retired,
         }
 
+    def as_dict(self) -> dict:
+        """JSON-ready view (Counters become plain dicts)."""
+        return {
+            "cycles": self.cycles,
+            "issued": self.issued,
+            "retired": self.retired,
+            "quashed": self.quashed,
+            "pred_hazard_cycles": self.pred_hazard_cycles,
+            "data_hazard_cycles": self.data_hazard_cycles,
+            "forbidden_cycles": self.forbidden_cycles,
+            "none_triggered_cycles": self.none_triggered_cycles,
+            "predicate_writes": self.predicate_writes,
+            "predictions": self.predictions,
+            "mispredictions": self.mispredictions,
+            "enqueues": self.enqueues,
+            "dequeues": self.dequeues,
+            "retired_by_op": dict(self.retired_by_op),
+            "retired_by_slot": {
+                str(slot): count
+                for slot, count in self.retired_by_slot.items()
+            },
+        }
+
     def check_consistency(self) -> None:
         """The six categories must tile the cycle count exactly."""
         total = (

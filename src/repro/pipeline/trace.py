@@ -46,12 +46,22 @@ _EVENT_FIELDS = (
 
 
 class PipelineTracer:
-    """Records and renders a PE's pipeline activity."""
+    """Records and renders a PE's pipeline activity.
+
+    ``limit`` bounds the stored per-cycle records; once reached,
+    further cycles are still *classified* (so :meth:`event_histogram`
+    stays accurate over the whole run) but their stage snapshots are
+    dropped, ``truncated`` is set, and ``dropped`` counts the loss —
+    :meth:`render` reports it instead of ending silently.
+    """
 
     def __init__(self, pe: PipelinedPE, limit: int = 100_000) -> None:
         self.pe = pe
         self.limit = limit
         self.records: list[TraceRecord] = []
+        self.truncated = False
+        self.dropped = 0
+        self._event_counts: dict[str, int] = {}
         self._last_counts = {name: 0 for name, __ in _EVENT_FIELDS}
 
     def step(self) -> bool:
@@ -79,18 +89,22 @@ class PipelineTracer:
         return "halted" if self.pe.halted else "-"
 
     def _record(self) -> None:
+        event = self._classify()
+        self._event_counts[event] = self._event_counts.get(event, 0) + 1
         if len(self.records) >= self.limit:
+            self.truncated = True
+            self.dropped += 1
             return
         stages = tuple(
-            "-" if entry is None else (entry.ins.label.split("@")[0] or "?")
-            for entry in self.pe._pipe
+            "-" if occupant is None else occupant.label
+            for occupant in self.pe.stage_snapshot()
         )
         self.records.append(
             TraceRecord(
                 cycle=self.pe.counters.cycles,
                 stages=stages,
                 predicates=self.pe.preds.state,
-                event=self._classify(),
+                event=event,
                 speculating=bool(self.pe._specs),
                 retired_total=self.pe.counters.retired,
             )
@@ -116,6 +130,11 @@ class PipelineTracer:
             if record.speculating:
                 row += " (spec)"
             lines.append(row)
+        if self.truncated:
+            lines.append(
+                f"... trace truncated: {self.dropped} later cycles not "
+                f"recorded (limit={self.limit})"
+            )
         return "\n".join(lines)
 
     def utilization(self) -> float:
@@ -127,7 +146,10 @@ class PipelineTracer:
         return filled / (depth * len(self.records))
 
     def event_histogram(self) -> dict[str, int]:
-        histogram: dict[str, int] = {}
-        for record in self.records:
-            histogram[record.event] = histogram.get(record.event, 0) + 1
-        return histogram
+        """Event counts over *every* traced cycle.
+
+        Classification continues past the record ``limit``, so the
+        histogram tiles the full run even when the stored trace was
+        truncated (check ``truncated``/``dropped`` for that).
+        """
+        return dict(self._event_counts)

@@ -63,6 +63,13 @@ def forensic_report(system) -> dict:
             for lsq in system.lsqs
         ],
     }
+    # When the observability layer is attached, embed its aggregated
+    # metrics snapshot so a hang post-mortem carries the same queue
+    # timelines and hazard breakdowns a healthy run would report.
+    if getattr(system, "telemetry", None) is not None:
+        from repro.obs.metrics import MetricsRegistry
+
+        report["metrics"] = MetricsRegistry.from_system(system).snapshot()
     return report
 
 
@@ -117,4 +124,13 @@ def format_report(report: dict) -> str:
     for lsq in report["lsqs"]:
         if not lsq["idle"]:
             lines.append(f"  {lsq['name']}: busy")
+    metrics = report.get("metrics")
+    if metrics is not None:
+        aggregate = metrics["aggregate"]
+        lines.append(
+            f"  telemetry: {aggregate['retired']} retired across "
+            f"{len(metrics['pes'])} PEs, "
+            f"{len(metrics['queues'])} queues sampled "
+            f"(full metrics snapshot embedded in the structured report)"
+        )
     return "\n".join(lines)

@@ -1,0 +1,319 @@
+"""Observability layer: event bus, metrics registry, trace export,
+campaign profiling, and the bit-identical-when-disabled guarantee."""
+
+import json
+
+import pytest
+
+from repro.asm import assemble
+from repro.dse.cpi import CpiTable
+from repro.errors import SimulationError
+from repro.obs import (
+    CampaignProfile,
+    MetricsRegistry,
+    Telemetry,
+    chrome_trace,
+    format_campaign_report,
+    run_instrumented,
+)
+from repro.pipeline import PipelinedPE, config_by_name
+from repro.pipeline.config import all_configs
+from repro.arch.queue import TaggedQueue
+from repro.workloads.suite import run_workload
+
+CONFIG = config_by_name("T|D|X1|X2 +P+Q")
+
+
+@pytest.fixture(scope="module")
+def stream_run():
+    """One instrumented multi-PE run shared by the read-only tests."""
+    return run_instrumented("stream", config=CONFIG, scale=8, seed=0)
+
+
+# ----------------------------------------------------------------------
+# Event/counter identities
+# ----------------------------------------------------------------------
+
+def test_event_counts_match_pipeline_counters(stream_run):
+    counts = stream_run.telemetry.event_counts
+    issued = sum(pe.counters.issued for pe in stream_run.system.pes)
+    retired = sum(pe.counters.retired for pe in stream_run.system.pes)
+    quashed = sum(pe.counters.quashed for pe in stream_run.system.pes)
+    assert counts["issue"] == issued
+    assert counts["retire"] == retired
+    assert counts.get("quash", 0) == quashed
+
+
+def test_events_carry_source_and_cycle(stream_run):
+    telemetry = stream_run.telemetry
+    pe_names = {pe.name for pe in stream_run.system.pes}
+    for event in telemetry.events_of("retire"):
+        assert event.source in pe_names
+        assert 0 <= event.cycle <= stream_run.cycles
+        assert "seq" in event.data and "op" in event.data
+
+
+def test_queue_conservation(stream_run):
+    """enqueues - dequeues == final occupancy, per instrumented queue.
+
+    (The stream workload starts with empty queues, so the events alone
+    must account for every entry ever present.)
+    """
+    telemetry = stream_run.telemetry
+    enq: dict[str, int] = {}
+    deq: dict[str, int] = {}
+    for event in telemetry.events:
+        if event.kind == "enqueue":
+            enq[event.source] = enq.get(event.source, 0) + 1
+        elif event.kind == "dequeue":
+            deq[event.source] = deq.get(event.source, 0) + 1
+    assert enq, "no enqueue events captured"
+    for name, timeline in telemetry.queue_timelines.items():
+        final = timeline[-1][1] if timeline else 0
+        assert enq.get(name, 0) - deq.get(name, 0) == final, name
+
+
+def test_port_grants_recorded(stream_run):
+    grants = stream_run.telemetry.events_of("port_grant")
+    assert grants
+    assert all(event.data["op"] in ("load", "store") for event in grants)
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+
+def test_aggregate_sums_per_pe_counters(stream_run):
+    registry = stream_run.metrics
+    aggregate = registry.aggregate()
+    assert aggregate["retired"] == sum(
+        entry["counters"]["retired"] for entry in registry.pes.values()
+    )
+    assert aggregate["cycles"] == sum(
+        entry["counters"]["cycles"] for entry in registry.pes.values()
+    )
+    assert aggregate["cpi"] == aggregate["cycles"] / aggregate["retired"]
+
+
+def test_hazard_breakdown_covers_every_pe(stream_run):
+    breakdown = stream_run.metrics.hazard_breakdown()
+    assert set(breakdown) == {pe.name for pe in stream_run.system.pes}
+    for hazards in breakdown.values():
+        assert "data_hazard_cycles" in hazards
+        assert all(count >= 0 for count in hazards.values())
+
+
+def test_queue_metrics_have_timelines_and_high_water(stream_run):
+    queues = stream_run.metrics.queue_metrics()
+    assert queues
+    for entry in queues.values():
+        assert entry["high_water"] <= entry["capacity"]
+        occupancies = [point[1] for point in entry["timeline"]]
+        assert max(occupancies, default=0) == entry["high_water"]
+        # Delta compression: consecutive points always differ.
+        assert all(a != b for a, b in zip(occupancies, occupancies[1:]))
+
+
+def test_port_busy_fraction_bounded(stream_run):
+    ports = stream_run.metrics.port_metrics()
+    assert ports  # stream uses a write port
+    for entry in ports.values():
+        assert 0.0 < entry["busy_fraction"] <= 1.0
+
+
+def test_metrics_json_round_trip(tmp_path, stream_run):
+    path = tmp_path / "metrics.json"
+    text = stream_run.metrics.to_json(str(path))
+    decoded = json.loads(path.read_text())
+    assert decoded == json.loads(text)
+    assert decoded["aggregate"]["retired"] > 0
+    assert decoded["events"]["truncated"] is False
+
+
+def test_functional_model_metrics():
+    run = run_instrumented("gcd", config=None, scale=4, seed=1)
+    registry = run.metrics
+    entry = registry.pes["worker"]
+    assert entry["model"] == "functional"
+    assert registry.aggregate()["none_triggered_cycles"] == \
+        run.worker_counters.none_triggered
+    assert registry.snapshot()["aggregate"]["retired"] > 0
+
+
+# ----------------------------------------------------------------------
+# Trace export
+# ----------------------------------------------------------------------
+
+def test_chrome_trace_round_trips_as_json(stream_run):
+    trace = json.loads(json.dumps(
+        chrome_trace(stream_run.telemetry, stream_run.system)
+    ))
+    events = trace["traceEvents"]
+    phases = {event["ph"] for event in events}
+    assert {"M", "X", "C"} <= phases
+    for event in events:
+        assert "pid" in event and "ts" in event or event["ph"] == "M"
+
+
+def test_trace_spans_stay_inside_the_run(stream_run):
+    trace = chrome_trace(stream_run.telemetry, stream_run.system)
+    spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert spans
+    for span in spans:
+        assert span["dur"] >= 1
+        assert 0 <= span["ts"] <= stream_run.cycles
+        assert span["ts"] + span["dur"] <= stream_run.cycles + 1
+
+
+def test_trace_has_one_track_per_stage(stream_run):
+    trace = chrome_trace(stream_run.telemetry, stream_run.system)
+    names = {
+        (event["pid"], event["tid"])
+        for event in trace["traceEvents"] if event["ph"] == "X"
+    }
+    depth = len(CONFIG.stages)
+    pipelined = [
+        pe for pe in stream_run.system.pes if hasattr(pe, "stage_snapshot")
+    ]
+    assert len(names) <= depth * len(pipelined)
+    # Every pipelined PE shows activity in its first (trigger) stage.
+    assert len({pid for pid, __ in names}) == len(pipelined)
+
+
+# ----------------------------------------------------------------------
+# Disabled == bit-identical; attach/detach hygiene
+# ----------------------------------------------------------------------
+
+def test_disabled_run_bit_identical():
+    def factory(name):
+        return PipelinedPE(CONFIG, name=name)
+
+    bare = run_workload("stream", make_pe=factory, scale=8, seed=0)
+    instrumented = run_instrumented("stream", config=CONFIG, scale=8, seed=0)
+    assert bare.cycles == instrumented.cycles
+    assert bare.worker_counters.as_dict() == \
+        instrumented.worker_counters.as_dict()
+
+
+def test_detach_restores_class_default(stream_run):
+    telemetry = Telemetry()
+    run = run_instrumented("stream", config=CONFIG, scale=8, seed=0,
+                           telemetry=telemetry)
+    telemetry.detach()
+    assert TaggedQueue.telemetry is None
+    for pe in run.system.pes:
+        assert pe.telemetry is None
+        for queue in list(pe.inputs) + list(pe.outputs):
+            assert "telemetry" not in queue.__dict__
+    assert run.system.telemetry is None
+
+
+def test_event_limit_truncates_but_keeps_counts():
+    telemetry = Telemetry(limit=4)
+    run = run_instrumented("stream", config=CONFIG, scale=8, seed=0,
+                           telemetry=telemetry)
+    assert telemetry.truncated
+    assert len(telemetry.events) == 4
+    assert telemetry.dropped_events > 0
+    # Counts keep tiling the full run even though storage stopped.
+    total = sum(telemetry.event_counts.values())
+    assert total == len(telemetry.events) + telemetry.dropped_events
+    assert run.metrics.snapshot()["events"]["truncated"] is True
+
+
+def test_sample_interval_thins_fabric_sampling():
+    telemetry = Telemetry(sample_interval=4)
+    run = run_instrumented("stream", config=CONFIG, scale=8, seed=0,
+                           telemetry=telemetry)
+    assert 0 < telemetry.sampled_cycles <= run.cycles // 4 + 1
+
+
+# ----------------------------------------------------------------------
+# Counter-consistency audit in System.run
+# ----------------------------------------------------------------------
+
+def test_counter_checks_pass_on_clean_run():
+    run = run_instrumented("stream", config=CONFIG, scale=8, seed=0,
+                           check_counters=True)
+    assert run.cycles > 0
+
+
+def test_counter_checks_catch_corruption():
+    run = run_instrumented("stream", config=CONFIG, scale=8, seed=0,
+                           check_counters=True)
+    system = run.system
+    system.pe("worker").counters.data_hazard_cycles += 7
+    with pytest.raises(SimulationError, match="pe=worker"):
+        system.run()  # already halted: goes straight to the audit
+
+
+# ----------------------------------------------------------------------
+# Stage snapshot API
+# ----------------------------------------------------------------------
+
+LOOP = """
+when %p == XXXXXXX0:
+    ult %p1, %r0, $5; set %p = ZZZZZZZ1;
+when %p == XXXXXX11:
+    add %r0, %r0, $1; set %p = ZZZZZZ00;
+when %p == XXXXXX01:
+    halt;
+"""
+
+
+def test_stage_snapshot_shape_and_content():
+    pe = PipelinedPE(config_by_name("T|D|X1|X2"), name="t")
+    assemble(LOOP).configure(pe)
+    seen_occupant = False
+    for _ in range(200):
+        if pe.halted:
+            break
+        pe.step()
+        pe.commit_queues()
+        snapshot = pe.stage_snapshot()
+        assert len(snapshot) == len(pe.config.stages)
+        for stage, occupant in enumerate(snapshot):
+            if occupant is None:
+                continue
+            seen_occupant = True
+            assert occupant.stage == stage
+            assert occupant.label
+            assert occupant.seq >= 0
+    assert pe.halted and seen_occupant
+
+
+def test_stage_intervals_tile_without_overlap(stream_run):
+    for per_stage in stream_run.telemetry.stage_intervals.values():
+        for intervals in per_stage:
+            spans = sorted(intervals)
+            for (s1, e1, *_), (s2, __, *_) in zip(spans, spans[1:]):
+                assert e1 >= s1
+                assert s2 > e1  # no overlap within one stage track
+
+
+# ----------------------------------------------------------------------
+# Campaign profiling
+# ----------------------------------------------------------------------
+
+def test_campaign_profile_records_cpi_population():
+    profile = CampaignProfile(label="unit")
+    table = CpiTable(scale=6)
+    configs = all_configs()[:3]
+    table.populate(configs, workers=1, profile=profile)
+    report = profile.report()
+    assert report["completed_tasks"] == 3
+    assert report["planned_tasks"] == 3
+    assert report["elapsed_seconds"] > 0
+    assert 0.0 < report["worker_utilization"] <= 1.0
+    assert report["pool_retries"] == 0 and report["timeouts"] == 0
+    assert len(report["tasks"]) == 3
+    text = format_campaign_report(report)
+    assert "unit" in text and "3/3" in text
+
+
+def test_campaign_profile_accumulates_across_calls():
+    profile = CampaignProfile(label="accum")
+    table = CpiTable(scale=6)
+    table.populate(all_configs()[:1], workers=1, profile=profile)
+    table.populate(all_configs()[1:2], workers=1, profile=profile)
+    assert profile.report()["completed_tasks"] == 2

@@ -68,3 +68,40 @@ def test_limit_caps_memory():
     tracer = PipelineTracer(pe, limit=3)
     tracer.run()
     assert len(tracer.records) == 3
+
+
+def test_truncation_is_surfaced():
+    pe = PipelinedPE(config_by_name("T|D|X"), name="t")
+    assemble(LOOP).configure(pe)
+    tracer = PipelineTracer(pe, limit=3)
+    tracer.run()
+    assert tracer.truncated
+    assert tracer.dropped == pe.counters.cycles - 3
+    assert "truncated" in tracer.render()
+    assert f"{tracer.dropped} later cycles" in tracer.render()
+
+
+def test_untruncated_trace_stays_silent():
+    tracer = traced("T|D|X")
+    assert not tracer.truncated and tracer.dropped == 0
+    assert "truncated" not in tracer.render()
+
+
+def test_histogram_accurate_past_the_limit():
+    """Event classification continues after storage stops, so the
+    histogram tiles the whole run even on a truncated trace."""
+    pe = PipelinedPE(config_by_name("T|D|X"), name="t")
+    assemble(LOOP).configure(pe)
+    tracer = PipelineTracer(pe, limit=3)
+    tracer.run()
+    histogram = tracer.event_histogram()
+    assert sum(histogram.values()) == pe.counters.cycles
+    assert histogram["issued"] == pe.counters.issued
+
+
+def test_stage_snapshot_backs_the_trace():
+    tracer = traced("T|D|X1|X2")
+    depth = len(tracer.pe.config.stages)
+    assert all(len(record.stages) == depth for record in tracer.records)
+    # The final record reflects the drained pipe.
+    assert tracer.records[-1].stages == ("-",) * depth
