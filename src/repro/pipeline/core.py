@@ -116,6 +116,7 @@ class _Speculation:
     pred_index: int
     predicted: int
     fallback: int   # predicate state to restore on misprediction
+    forced: bool = False   # injected inversion; excluded from accuracy stats
 
 
 class PipelinedPE:
@@ -424,6 +425,7 @@ class PipelinedPE:
                     pred_index=index,
                     predicted=predicted,
                     fallback=self.preds.state,
+                    forced=self.predictor.last_forced,
                 )
             )
             self.preds.write_bit(index, predicted)
@@ -574,12 +576,16 @@ class PipelinedPE:
             return
 
         correct = spec.predicted == actual
-        self.counters.predictions += 1
-        self.predictor.record_resolution(correct)
+        self.predictor.record_resolution(correct, forced=spec.forced)
+        if spec.forced:
+            self.counters.forced_predictions += 1
+        else:
+            self.counters.predictions += 1
         if correct:
             self._specs.remove(spec)
             return
-        self.counters.mispredictions += 1
+        if not spec.forced:
+            self.counters.mispredictions += 1
         if self.telemetry is not None:
             self.telemetry.emit(
                 "rollback", self.name, pred_index=index,

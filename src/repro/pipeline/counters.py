@@ -37,6 +37,7 @@ class PipelineCounters:
     predicate_writes: int = 0      # retired datapath predicate writes
     predictions: int = 0
     mispredictions: int = 0
+    forced_predictions: int = 0    # injected inversions (fault campaigns)
     enqueues: int = 0
     dequeues: int = 0
     retired_by_op: Counter = field(default_factory=Counter)
@@ -92,6 +93,7 @@ class PipelineCounters:
             "predicate_writes": self.predicate_writes,
             "predictions": self.predictions,
             "mispredictions": self.mispredictions,
+            "forced_predictions": self.forced_predictions,
             "enqueues": self.enqueues,
             "dequeues": self.dequeues,
             "retired_by_op": dict(self.retired_by_op),

@@ -26,17 +26,25 @@ class PredicatePredictor:
         self.counters = [initial] * params.num_preds
         self.predictions = 0
         self.correct = 0
+        #: Forced inversions resolved so far (fault campaigns only).
+        self.forced = 0
         #: Fault-injection seam: when set, the next prediction is inverted
         #: (and the flag consumed), forcing a misprediction/rollback at a
         #: chosen cycle without touching the training state.
         self.force_invert_next = False
+        #: Whether the most recent ``predict`` consumed a forced inversion.
+        #: The issue logic reads this to tag the speculation it creates, so
+        #: the resolution can be excluded from the accuracy figures.
+        self.last_forced = False
 
     def predict(self, index: int) -> int:
         """Predicted value (0/1) for one predicate bit."""
         predicted = int(self.counters[index] >= self.WEAK_TAKEN)
         if self.force_invert_next:
             self.force_invert_next = False
+            self.last_forced = True
             return predicted ^ 1
+        self.last_forced = False
         return predicted
 
     def record_outcome(self, index: int, actual: int) -> None:
@@ -51,8 +59,17 @@ class PredicatePredictor:
         else:
             self.counters[index] = max(self.STRONG_NOT, self.counters[index] - 1)
 
-    def record_resolution(self, correct: bool) -> None:
-        """Account one resolved prediction (Figure 4 accuracy)."""
+    def record_resolution(self, correct: bool, forced: bool = False) -> None:
+        """Account one resolved prediction (Figure 4 accuracy).
+
+        Forced inversions are injected faults, not predictor decisions:
+        they are tallied separately (``forced``) for the resilience
+        report and excluded from the accuracy statistics, so a fault
+        campaign cannot pollute the Figure 4 reproduction.
+        """
+        if forced:
+            self.forced += 1
+            return
         self.predictions += 1
         if correct:
             self.correct += 1
@@ -68,4 +85,6 @@ class PredicatePredictor:
         self.counters = [self._initial] * self._params.num_preds
         self.predictions = 0
         self.correct = 0
+        self.forced = 0
         self.force_invert_next = False
+        self.last_forced = False

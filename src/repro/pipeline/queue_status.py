@@ -81,6 +81,11 @@ class ConservativeQueueView(QueueStatusView):
         return self.outputs[queue].free_slots
 
 
+#: Queue entries whose tags the +Q trigger hardware can inspect: the head
+#: and the "neck" (Section 5.3).  Deeper entries have no tag comparators.
+TAG_VISIBILITY = 2
+
+
 class EffectiveQueueView(QueueStatusView):
     """The paper's +Q accounting: occupancy corrected for the pipeline."""
 
@@ -89,9 +94,11 @@ class EffectiveQueueView(QueueStatusView):
         inputs: list[TaggedQueue],
         outputs: list[TaggedQueue],
         in_flight: InFlightQueueState,
+        visible_depth: int = TAG_VISIBILITY,
     ) -> None:
         super().__init__(inputs, outputs)
         self.in_flight = in_flight
+        self.visible_depth = visible_depth
 
     def input_count(self, queue: int) -> int:
         return max(
@@ -102,10 +109,16 @@ class EffectiveQueueView(QueueStatusView):
         """Tag at the effective position: skip entries being dequeued.
 
         With a split trigger/decode this inspects the "neck" of the queue
-        as well as the head, exactly as Section 5.3 describes.
+        as well as the head, exactly as Section 5.3 describes.  The
+        hardware exposes *only* head and neck tag comparators, so an
+        effective position beyond the visibility window reads as unknown
+        (``None``) and the trigger conservatively does not fire — it
+        cannot peek arbitrarily deep the way a software model could.
         """
         q = self.inputs[queue]
         effective = position + self.in_flight.pending_deqs[queue]
+        if effective >= self.visible_depth:
+            return None
         if effective >= q.occupancy:
             return None
         return q.peek(effective).tag

@@ -1,0 +1,49 @@
+"""The repro corpus: self-contained divergence cases on disk.
+
+Every minimized divergence the fuzzer finds lands here as one JSON file
+in ``tests/corpus/`` — the case description alone rebuilds the program
+(through :func:`repro.verify.generator.case_source`) and its input
+streams, so a corpus file is a complete, reviewable regression test.
+``tests/test_verify.py`` replays the whole corpus on every run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+#: Default corpus location, relative to the repository root.
+DEFAULT_CORPUS = os.path.join("tests", "corpus")
+
+
+def case_filename(case: dict) -> str:
+    safe = "".join(c if (c.isalnum() or c in "-_") else "-"
+                   for c in case["name"])
+    return f"{safe}.json"
+
+
+def save_case(case: dict, directory: str = DEFAULT_CORPUS) -> str:
+    """Write one case into the corpus; returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, case_filename(case))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(case, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_case(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def load_corpus(directory: str = DEFAULT_CORPUS) -> list[tuple[str, dict]]:
+    """All corpus cases as (path, case) pairs, sorted by filename."""
+    if not os.path.isdir(directory):
+        return []
+    pairs = []
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(".json"):
+            path = os.path.join(directory, name)
+            pairs.append((path, load_case(path)))
+    return pairs

@@ -1,0 +1,366 @@
+"""Seeded random program generator for differential fuzzing.
+
+Programs are generated as *cases*: a JSON-able description holding the
+:class:`~repro.workloads.builder.ProgramBuilder` entries plus the input
+streams to feed.  Going through the builder (and therefore the real
+assembler) guarantees every case is legal machine code and assembler/
+disassembler round-trippable; the structural discipline below guarantees
+every case is *deterministic by construction* — the sequence of fired
+instructions is a pure function of architectural state, so the golden
+model and every pipelined microarchitecture must converge to the same
+final state no matter how issue timing differs:
+
+* The program is a state machine over the builder's state bits.  Each
+  state holds either exactly one instruction, or a pair distinguished by
+  one flag predicate (a *flag branch*), or a pair distinguished by the
+  head tag of one dispatch queue (a *tag dispatch*).  At most one member
+  of a pair is ever eligible, so queue-status timing can only delay an
+  instruction, never reorder the architectural sequence.
+* Loops are bounded by a reserved counter register, so every program
+  halts on the golden model.
+* Input streams are sized to the worst-case consumption along any path,
+  so a consuming state never starves forever.
+* An optional stateless forwarder copies queue 3 to output 3.  It
+  shares no register, predicate, scratchpad word, or queue with the
+  state machine, so its interleaving with the main thread commutes; a
+  trailing sentinel tag on its stream gates ``halt`` so the forwarder
+  always drains before the PE stops.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.params import ArchParams, DEFAULT_PARAMS
+from repro.workloads.builder import ProgramBuilder
+
+#: Register discipline: r0..r5 scratch data, r6 spare, r7 loop counter.
+_DATA_REGS = (0, 1, 2, 3, 4, 5)
+_LOOP_REG = 7
+#: Predicate discipline: bits 0..2 are work flags, bit 3 the loop flag;
+#: bits 7..4 are the builder's state bits.
+_WORK_FLAGS = (0, 1, 2)
+_LOOP_FLAG = 3
+#: Queue discipline: input queues 0..2 feed the state machine; queue 3
+#: and output 3 belong to the forwarder.  Outputs 0..2 take emits.
+_MAIN_QUEUES = (0, 1, 2)
+_FWD_QUEUE = 3
+
+#: Immediate pool biased toward shift/rotate edge amounts (0, word
+#: width, width±1) and sign/mask boundaries, per the ISA's semantics
+#: corners (see src/repro/isa/alu.py).
+_EDGE_IMMEDIATES = (0, 1, 2, 31, 32, 33, 63, 255, 0x7FFFFFFF,
+                    0x80000000, 0xFFFFFFFF)
+
+_ALU_1SRC = ("mov", "not", "clz", "ctz", "popc", "brev", "sext8",
+             "sext16", "eqz", "nez")
+_ALU_2SRC = ("add", "sub", "mul", "mulh", "mulhu", "and", "or", "xor",
+             "nor", "nand", "xnor", "shl", "shr", "asr", "rol", "ror",
+             "eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule",
+             "ugt", "uge", "land", "lor")
+_COMPARE_2SRC = ("eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule",
+                 "ugt", "uge", "land", "lor")
+_COMPARE_1SRC = ("eqz", "nez")
+
+
+def _imm(rng: random.Random, params: ArchParams) -> int:
+    if rng.random() < 0.5:
+        return rng.choice(_EDGE_IMMEDIATES) & params.word_mask
+    return rng.getrandbits(params.word_width)
+
+
+def _src(rng: random.Random, params: ArchParams) -> str:
+    if rng.random() < 0.5:
+        return f"%r{rng.choice(_DATA_REGS)}"
+    return f"${_imm(rng, params)}"
+
+
+def _src_pair(rng: random.Random, params: ArchParams) -> tuple[str, str]:
+    """Two sources with at most one immediate (an encoding constraint)."""
+    reg = f"%r{rng.choice(_DATA_REGS)}"
+    other = _src(rng, params)
+    if rng.random() < 0.5:
+        return reg, other
+    return other, reg
+
+
+class _QueuePlan:
+    """Allocation of main input queues: uniform-tag or tag-dispatch."""
+
+    def __init__(self, rng: random.Random, params: ArchParams) -> None:
+        self.rng = rng
+        self.params = params
+        self.kinds: dict[int, str] = {}        # queue -> "uniform"|"dispatch"
+        self.uniform_tag: dict[int, int] = {}
+
+    def uniform(self) -> int | None:
+        free = [q for q in _MAIN_QUEUES if q not in self.kinds]
+        taken = [q for q, kind in self.kinds.items() if kind == "uniform"]
+        if taken and (not free or self.rng.random() < 0.5):
+            return self.rng.choice(taken)
+        if not free:
+            return None
+        queue = self.rng.choice(free)
+        self.kinds[queue] = "uniform"
+        self.uniform_tag[queue] = self.rng.randrange(
+            1 << self.params.tag_width)
+        return queue
+
+    def dispatch(self) -> int | None:
+        taken = [q for q, kind in self.kinds.items() if kind == "dispatch"]
+        if taken:
+            return taken[0]
+        free = [q for q in _MAIN_QUEUES if q not in self.kinds]
+        if not free:
+            return None
+        queue = self.rng.choice(free)
+        self.kinds[queue] = "dispatch"
+        return queue
+
+
+def generate_case(seed: int, params: ArchParams = DEFAULT_PARAMS) -> dict:
+    """One random, well-formed, deterministic-by-construction case."""
+    rng = random.Random(seed)
+    queues = _QueuePlan(rng, params)
+    entries: list[dict] = []
+    #: Worst-case tokens consumed from each queue per chain traversal.
+    consumed_per_pass: dict[int, int] = {}
+    #: Queues inspected by non-dequeuing tag checks: their streams carry
+    #: a spare token so the peeked head always exists.
+    peeked: set[int] = set()
+
+    with_loop = rng.random() < 0.6
+    loop_count = rng.randrange(2, 4) if with_loop else 1
+    with_forwarder = rng.random() < 0.4
+    #: Slots reserved for entries emitted after the work chain: the loop
+    #: scaffolding (or the plain chain exit) plus halt.
+    tail = (4 if with_loop else 1) + 1
+
+    def emit(entry: dict) -> None:
+        entries.append(entry)
+
+    def room() -> int:
+        return params.num_instructions - tail - len(entries)
+
+    if with_forwarder:
+        emit({"op": f"mov %o{_FWD_QUEUE}.0, %i{_FWD_QUEUE}",
+              "checks": [f"%i{_FWD_QUEUE}.0"],
+              "deq": [f"%i{_FWD_QUEUE}"]})
+
+    emit({"op": f"mov %r{_LOOP_REG}, $0", "state": "init", "next": "w0"})
+
+    state_index = 0
+
+    def state() -> str:
+        return f"w{state_index}"
+
+    def next_state() -> str:
+        return f"w{state_index + 1}"
+
+    kinds = ["alu", "alu", "consume", "consume", "emit", "store", "load",
+             "branch", "dispatch", "peek"]
+    while room() >= 1 and state_index < 10:
+        kind = rng.choice(kinds)
+        if kind == "alu":
+            if rng.random() < 0.4:
+                op = rng.choice(_ALU_1SRC)
+                text = (f"{op} %r{rng.choice(_DATA_REGS)}, "
+                        f"{_src(rng, params)}")
+            else:
+                op = rng.choice(_ALU_2SRC)
+                a, b = _src_pair(rng, params)
+                text = f"{op} %r{rng.choice(_DATA_REGS)}, {a}, {b}"
+            emit({"op": text, "state": state(), "next": next_state()})
+        elif kind == "consume":
+            queue = queues.uniform()
+            if queue is None:
+                continue
+            tag = queues.uniform_tag[queue]
+            roll = rng.random()
+            if roll < 0.25:
+                # A satisfiable negated check: the stream's tag is fixed,
+                # so any *other* tag negated always matches.
+                other = (tag + 1) % (1 << params.tag_width)
+                checks = [f"%i{queue}.!{other}"]
+            elif roll < 0.6:
+                checks = [f"%i{queue}.{tag}"]
+            else:
+                # A checkless dequeue: eligibility rides purely on the
+                # queue-status view's occupancy accounting, the path tag
+                # checks would otherwise mask.
+                checks = []
+            op = rng.choice(("add", "xor", "mov", "sub", "or"))
+            if op == "mov":
+                text = f"mov %r{rng.choice(_DATA_REGS)}, %i{queue}"
+            else:
+                text = (f"{op} %r{rng.choice(_DATA_REGS)}, %i{queue}, "
+                        f"{_src(rng, params)}")
+            entry = {"op": text, "state": state(), "next": next_state(),
+                     "deq": [f"%i{queue}"]}
+            if checks:
+                entry["checks"] = checks
+            emit(entry)
+            consumed_per_pass[queue] = consumed_per_pass.get(queue, 0) + 1
+        elif kind == "emit":
+            out = rng.choice(_MAIN_QUEUES)
+            tag = rng.randrange(1 << params.tag_width)
+            op = rng.choice(("mov", "add", "xor"))
+            if op == "mov":
+                text = f"mov %o{out}.{tag}, %r{rng.choice(_DATA_REGS)}"
+            else:
+                text = (f"{op} %o{out}.{tag}, %r{rng.choice(_DATA_REGS)}, "
+                        f"{_src(rng, params)}")
+            emit({"op": text, "state": state(), "next": next_state()})
+        elif kind == "store":
+            addr = rng.randrange(16)
+            emit({"op": f"ssw ${addr}, %r{rng.choice(_DATA_REGS)}",
+                  "state": state(), "next": next_state()})
+        elif kind == "load":
+            addr = rng.randrange(16)
+            emit({"op": f"lsw %r{rng.choice(_DATA_REGS)}, ${addr}",
+                  "state": state(), "next": next_state()})
+        elif kind == "branch":
+            if room() < 3:
+                continue
+            flag = rng.choice(_WORK_FLAGS)
+            if rng.random() < 0.3:
+                op = rng.choice(_COMPARE_1SRC)
+                text = f"{op} %p{flag}, {_src(rng, params)}"
+            else:
+                op = rng.choice(_COMPARE_2SRC)
+                a, b = _src_pair(rng, params)
+                text = f"{op} %p{flag}, {a}, {b}"
+            emit({"op": text, "state": state(), "next": next_state()})
+            state_index += 1
+            # Two arms on the flag; both pure, both to the same successor,
+            # so queue timing cannot reorder anything.
+            for value in (True, False):
+                op = rng.choice(_ALU_2SRC)
+                a, b = _src_pair(rng, params)
+                text = f"{op} %r{rng.choice(_DATA_REGS)}, {a}, {b}"
+                emit({"op": text, "state": state(),
+                      "flags": {flag: value}, "next": next_state()})
+        elif kind == "dispatch":
+            if room() < 2:
+                continue
+            queue = queues.dispatch()
+            if queue is None:
+                continue
+            # Two arms keyed on the head tag of one queue; identical
+            # queue requirements, so stalls hit both arms alike.
+            for tag in (0, 1):
+                op = rng.choice(("add", "xor", "mov"))
+                if op == "mov":
+                    text = f"mov %r{rng.choice(_DATA_REGS)}, %i{queue}"
+                else:
+                    text = (f"{op} %r{rng.choice(_DATA_REGS)}, "
+                            f"%i{queue}, {_src(rng, params)}")
+                emit({"op": text, "state": state(),
+                      "checks": [f"%i{queue}.{tag}"],
+                      "deq": [f"%i{queue}"], "next": next_state()})
+            consumed_per_pass[queue] = consumed_per_pass.get(queue, 0) + 1
+        elif kind == "peek":
+            if room() < 2:
+                continue
+            queue = queues.dispatch()
+            if queue is None:
+                continue
+            # Two non-dequeuing arms keyed on the head tag of a mixed-tag
+            # queue.  Because nothing is dequeued, which arm fires is a
+            # pure function of the consumption count — but the tag the
+            # trigger hardware must inspect is the *effective* head (the
+            # neck, while an in-flight dequeue drains the physical head),
+            # so these arms are the Section 5.3 tag-visibility probe.
+            out = rng.choice(_MAIN_QUEUES)
+            out_tag = rng.randrange(1 << params.tag_width)
+            for tag, marker in ((0, rng.randrange(1 << 16)),
+                                (1, rng.randrange(1 << 16))):
+                emit({"op": f"mov %o{out}.{out_tag}, ${marker}",
+                      "state": state(), "checks": [f"%i{queue}.{tag}"],
+                      "next": next_state()})
+            peeked.add(queue)
+        state_index += 1
+
+    last_work = state()     # the successor the final work entry points at
+
+    if with_loop:
+        emit({"op": f"add %r{_LOOP_REG}, %r{_LOOP_REG}, $1",
+              "state": last_work, "next": "cmp"})
+        emit({"op": f"ult %p{_LOOP_FLAG}, %r{_LOOP_REG}, ${loop_count}",
+              "state": "cmp", "next": "br"})
+        emit({"op": "nop", "state": "br", "flags": {_LOOP_FLAG: True},
+              "next": "w0"})
+        emit({"op": "nop", "state": "br", "flags": {_LOOP_FLAG: False},
+              "next": "end"})
+    else:
+        emit({"op": "nop", "state": last_work, "next": "end"})
+
+    halt_entry: dict = {"op": "halt", "state": "end"}
+    if with_forwarder:
+        # The forwarder's sentinel gates halt: the machine stops only
+        # after queue 3 is fully forwarded, so leftovers are exact.
+        halt_entry["checks"] = [f"%i{_FWD_QUEUE}.1"]
+    emit(halt_entry)
+
+    streams: dict[int, list[list[int]]] = {}
+    for queue in sorted(set(consumed_per_pass) | peeked):
+        need = consumed_per_pass.get(queue, 0) * loop_count
+        extra = rng.randrange(3) if rng.random() < 0.3 else 0
+        if queue in peeked:
+            # The peeked head must exist even after every dequeue of the
+            # final pass has drained, so keep one token in reserve.
+            extra = max(extra, 1)
+        tokens = []
+        for _ in range(need + extra):
+            value = _imm(rng, params)
+            if queues.kinds[queue] == "uniform":
+                tag = queues.uniform_tag[queue]
+            else:
+                tag = rng.randrange(2)
+            tokens.append([value, tag])
+        streams[queue] = tokens
+    if with_forwarder:
+        tokens = [[_imm(rng, params), 0]
+                  for _ in range(rng.randrange(1, 5))]
+        tokens.append([0, 1])     # the halt-gating sentinel
+        streams[_FWD_QUEUE] = tokens
+
+    return {
+        "name": f"fuzz-{seed}",
+        "seed": seed,
+        "start": "init",
+        "entries": entries,
+        "streams": {str(q): tokens for q, tokens in streams.items()},
+    }
+
+
+def case_builder(case: dict,
+                 params: ArchParams = DEFAULT_PARAMS) -> ProgramBuilder:
+    """Rebuild the :class:`ProgramBuilder` for a case description."""
+    builder = ProgramBuilder(params, start_state=case["start"])
+    for entry in case["entries"]:
+        builder.add(
+            op=entry["op"],
+            state=entry.get("state"),
+            flags={int(bit): bool(value)
+                   for bit, value in (entry.get("flags") or {}).items()},
+            checks=entry.get("checks"),
+            deq=entry.get("deq"),
+            next=entry.get("next"),
+            set_flags={int(bit): bool(value)
+                       for bit, value in (entry.get("set_flags") or {}).items()},
+        )
+    return builder
+
+
+def case_source(case: dict, params: ArchParams = DEFAULT_PARAMS) -> str:
+    """The case's program as assembly text."""
+    return case_builder(case, params).source()
+
+
+def case_streams(case: dict) -> dict[int, list[tuple[int, int]]]:
+    """The case's input streams with queue indices as integers."""
+    return {
+        int(queue): [(int(value), int(tag)) for value, tag in tokens]
+        for queue, tokens in case["streams"].items()
+    }

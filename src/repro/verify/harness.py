@@ -1,0 +1,312 @@
+"""Differential execution harness: golden model vs. every pipeline.
+
+One *case* (see :mod:`repro.verify.generator`) runs on the
+:class:`~repro.arch.FunctionalPE` golden model and on all 8 stage
+partitions × {±P} × {conservative, effective, padded} queue policies.
+The harness compares, per configuration:
+
+* the retired output streams of every output queue (values and tags, in
+  order);
+* the final architectural state — registers, the full predicate file,
+  the scratchpad, and the unconsumed input tokens;
+* termination within a cycle bound derived from the golden run's cycle
+  count (a hang is reported with a :mod:`repro.resilience.forensics`
+  dump rather than a bare timeout).
+
+A deterministic per-case subset of configurations additionally runs
+with the compiled trigger fast path disabled, holding the reference
+dataclass walk to bit-identical state *and counters* against the fast
+path.  Every case is also pushed through the assembler/disassembler and
+binary encode/decode round trips.
+
+Workers return plain dicts (never raise) so a fuzz campaign can fan out
+through :func:`repro.parallel.resilient_map` and aggregate failures.
+"""
+
+from __future__ import annotations
+
+from repro.arch import FunctionalPE
+from repro.asm.assembler import assemble
+from repro.asm.disassembler import disassemble
+from repro.errors import ReproError
+from repro.isa.encoding import encode_instruction, encode_program, decode_program
+from repro.params import ArchParams, DEFAULT_PARAMS
+from repro.pipeline import PipelinedPE, all_configs
+from repro.resilience.forensics import forensic_report, format_report
+from repro.verify.generator import case_source, case_streams
+
+#: The full design matrix under differential test: 8 partitions x {±P}
+#: x {conservative, effective, padded} = 48 microarchitectures.
+CONFIGS = all_configs(include_padded=True)
+CONFIG_NAMES = [config.name for config in CONFIGS]
+
+#: Watchdog for the golden model: a generated case that runs this long
+#: without halting is a generator bug, reported as its own failure kind.
+GOLDEN_WATCHDOG = 50_000
+
+
+class _SoloSystem:
+    """Adapter giving one PE the System shape forensics expects."""
+
+    def __init__(self, pe) -> None:
+        self.cycles = pe.counters.cycles
+        self.all_halted = pe.halted
+        self.pes = [pe]
+        self.read_ports = []
+        self.write_ports = []
+        self.lsqs = []
+
+
+def _hang_dump(pe) -> str:
+    return format_report(forensic_report(_SoloSystem(pe)))
+
+
+def _run_model(pe, streams: dict[int, list[tuple[int, int]]],
+               max_cycles: int) -> dict | None:
+    """Drive one PE to halt; returns its fingerprint, or None on a hang.
+
+    Input queues are topped up from the streams whenever capacity frees
+    and outputs are drained every cycle, so queue availability is a pure
+    function of how many tokens the program has consumed — identical
+    across every model, whatever their issue timing.
+    """
+    backlog = {queue: list(tokens) for queue, tokens in streams.items()}
+    collected: dict[int, list[tuple[int, int]]] = {
+        index: [] for index in range(len(pe.outputs))
+    }
+    for _ in range(max_cycles):
+        if pe.halted:
+            break
+        for queue, tokens in backlog.items():
+            while tokens and not pe.inputs[queue].is_full:
+                value, tag = tokens.pop(0)
+                pe.inputs[queue].enqueue(value, tag)
+        pe.step()
+        pe.commit_queues()
+        for index, queue in enumerate(pe.outputs):
+            for entry in queue.drain():
+                collected[index].append((entry.value, entry.tag))
+    if not pe.halted:
+        return None
+    pe.commit_queues()
+    for index, queue in enumerate(pe.outputs):
+        for entry in queue.drain():
+            collected[index].append((entry.value, entry.tag))
+    leftovers: dict[int, list[tuple[int, int]]] = {}
+    for index, queue in enumerate(pe.inputs):
+        if queue._staged:
+            queue.commit()
+        left = [(entry.value, entry.tag) for entry in queue.drain()]
+        left.extend(backlog.get(index, []))
+        if left:
+            leftovers[index] = left
+    return {
+        "halted": True,
+        "cycles": pe.counters.cycles,
+        "regs": list(pe.regs.snapshot()),
+        "preds": pe.preds.state,
+        "scratchpad": {
+            index: word
+            for index, word in enumerate(pe.scratchpad.dump())
+            if word
+        },
+        "outputs": {q: list(tokens) for q, tokens in collected.items() if tokens},
+        "inputs_left": leftovers,
+    }
+
+
+def _run_guarded(pe, streams: dict[int, list[tuple[int, int]]],
+                 max_cycles: int) -> dict | None:
+    """:func:`_run_model`, with model crashes captured as results.
+
+    A queue-accounting bug can surface as an exception (dequeue from an
+    empty queue, enqueue past capacity) rather than as wrong state; a
+    campaign must record that as a divergence, not die on it.
+    """
+    try:
+        return _run_model(pe, streams, max_cycles)
+    except Exception as exc:     # noqa: BLE001
+        return {"crashed": f"{type(exc).__name__}: {exc}"}
+
+
+_ARCH_KEYS = ("regs", "preds", "scratchpad", "outputs", "inputs_left")
+
+
+def _diff_states(golden: dict, candidate: dict) -> list[str]:
+    """Human-readable field-level differences between two fingerprints."""
+    fields = []
+    for key in _ARCH_KEYS:
+        if golden[key] != candidate[key]:
+            fields.append(
+                f"{key}: golden={golden[key]!r} candidate={candidate[key]!r}"
+            )
+    return fields
+
+
+def check_roundtrip(case: dict,
+                    params: ArchParams = DEFAULT_PARAMS) -> list[dict]:
+    """Assembler/disassembler and binary encode/decode round trips."""
+    divergences = []
+    source = case_source(case, params)
+    program = assemble(source, params, name=case["name"])
+    redisassembled = disassemble(program.instructions, params,
+                                 program.initial_predicates)
+    reassembled = assemble(redisassembled, params, name=case["name"])
+    first = [encode_instruction(ins, params) for ins in program.instructions]
+    second = [encode_instruction(ins, params)
+              for ins in reassembled.instructions]
+    if first != second:
+        divergences.append({
+            "kind": "roundtrip-asm",
+            "config": None,
+            "detail": "assemble -> disassemble -> assemble changed encodings",
+        })
+    if reassembled.initial_predicates != program.initial_predicates:
+        divergences.append({
+            "kind": "roundtrip-asm",
+            "config": None,
+            "detail": "round trip changed the .start predicate state",
+        })
+    blob = encode_program(program.instructions, params)
+    decoded = decode_program(blob, params)
+    if encode_program(decoded, params) != blob:
+        divergences.append({
+            "kind": "roundtrip-binary",
+            "config": None,
+            "detail": "encode -> decode -> encode changed the binary",
+        })
+    return divergences
+
+
+def reference_config_names(case_seed: int, count: int) -> list[str]:
+    """The deterministic per-case subset that also runs the reference
+    (uncompiled) trigger walk."""
+    count = max(0, min(count, len(CONFIG_NAMES)))
+    return [CONFIG_NAMES[(case_seed + i * 7) % len(CONFIG_NAMES)]
+            for i in range(count)]
+
+
+def check_case(case: dict, params: ArchParams = DEFAULT_PARAMS,
+               ref_configs: int = 4) -> dict:
+    """Run one case differentially; returns a JSON-able result dict."""
+    result = {
+        "name": case["name"],
+        "seed": case.get("seed"),
+        "configs_checked": 0,
+        "golden_cycles": None,
+        "divergences": [],
+    }
+    try:
+        divergences = check_roundtrip(case, params)
+    except Exception as exc:     # noqa: BLE001 -- any build failure means
+        # the *case* is malformed (shrinker reductions routinely produce
+        # programs with dangling states), not that the harness is broken.
+        result["divergences"].append({
+            "kind": "generator-invalid",
+            "config": None,
+            "detail": f"case does not assemble: {exc!r}",
+        })
+        return result
+    result["divergences"].extend(divergences)
+
+    source = case_source(case, params)
+    program = assemble(source, params, name=case["name"])
+    streams = case_streams(case)
+
+    golden = FunctionalPE(params, name=f"{case['name']}-golden")
+    program.configure(golden)
+    golden_print = _run_guarded(golden, streams, GOLDEN_WATCHDOG)
+    if golden_print is not None and "crashed" in golden_print:
+        result["divergences"].append({
+            "kind": "crash",
+            "config": None,
+            "detail": f"golden model crashed: {golden_print['crashed']}",
+        })
+        return result
+    if golden_print is None:
+        result["divergences"].append({
+            "kind": "golden-timeout",
+            "config": None,
+            "detail": "golden model did not halt (generator bug):\n"
+                      + _hang_dump(golden),
+        })
+        return result
+    result["golden_cycles"] = golden_print["cycles"]
+
+    ref_names = set(reference_config_names(case.get("seed") or 0, ref_configs))
+    for config in CONFIGS:
+        # Stalls cannot exceed a few pipeline depths per retired
+        # instruction plus queue-refill latency; this bound is loose
+        # enough that tripping it means livelock, not slowness.
+        bound = golden_print["cycles"] * (6 * config.depth) + 500
+        fast = PipelinedPE(config, params, name=f"{case['name']}-fast")
+        program.configure(fast)
+        fast_print = _run_guarded(fast, streams, bound)
+        result["configs_checked"] += 1
+        if fast_print is not None and "crashed" in fast_print:
+            result["divergences"].append({
+                "kind": "crash",
+                "config": config.name,
+                "detail": fast_print["crashed"],
+            })
+            continue
+        if fast_print is None:
+            result["divergences"].append({
+                "kind": "hang",
+                "config": config.name,
+                "detail": f"no halt within {bound} cycles "
+                          f"(golden: {golden_print['cycles']}):\n"
+                          + _hang_dump(fast),
+            })
+            continue
+        fields = _diff_states(golden_print, fast_print)
+        if fields:
+            result["divergences"].append({
+                "kind": "state",
+                "config": config.name,
+                "detail": "; ".join(fields),
+            })
+            continue
+        if config.name in ref_names:
+            ref = PipelinedPE(config, params, name=f"{case['name']}-ref",
+                              fast_path=False)
+            program.configure(ref)
+            ref_print = _run_guarded(ref, streams, bound)
+            if ref_print is not None and "crashed" in ref_print:
+                result["divergences"].append({
+                    "kind": "crash",
+                    "config": f"{config.name} (reference walk)",
+                    "detail": ref_print["crashed"],
+                })
+                continue
+            if ref_print is None:
+                result["divergences"].append({
+                    "kind": "hang",
+                    "config": f"{config.name} (reference walk)",
+                    "detail": f"no halt within {bound} cycles:\n"
+                              + _hang_dump(ref),
+                })
+                continue
+            fields = _diff_states(fast_print, ref_print)
+            if ref_print["cycles"] != fast_print["cycles"]:
+                fields.append(
+                    f"cycles: fast={fast_print['cycles']} "
+                    f"ref={ref_print['cycles']}"
+                )
+            if fast.counters.as_dict() != ref.counters.as_dict():
+                fields.append("counters differ between fast and reference")
+            if fields:
+                result["divergences"].append({
+                    "kind": "fast-vs-reference",
+                    "config": config.name,
+                    "detail": "; ".join(fields),
+                })
+    return result
+
+
+def real_divergences(result: dict) -> list[dict]:
+    """Divergences that indicate a model bug (golden timeouts are
+    generator bugs and are excluded — the shrinker must not chase
+    degenerate never-halting reductions)."""
+    return [d for d in result["divergences"]
+            if d["kind"] not in ("golden-timeout", "generator-invalid")]

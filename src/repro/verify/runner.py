@@ -1,0 +1,45 @@
+"""Campaign driver: fan a batch of fuzz cases over worker processes.
+
+The per-case check is pure (a seed fully determines the case and its
+result), so a campaign is an order-preserving :func:`resilient_map`
+over seeds — byte-identical results at any worker count, with the
+parallel layer's timeout/retry/serial-degradation hardening for free.
+"""
+
+from __future__ import annotations
+
+from repro.parallel import resilient_map
+from repro.params import DEFAULT_PARAMS
+from repro.verify.generator import generate_case
+from repro.verify.harness import check_case, real_divergences
+
+
+def _check_seed(task: tuple[int, int]) -> dict:
+    """Module-level worker (must pickle): generate and check one seed."""
+    seed, ref_configs = task
+    case = generate_case(seed, DEFAULT_PARAMS)
+    return check_case(case, DEFAULT_PARAMS, ref_configs=ref_configs)
+
+
+def fuzz_run(count: int, seed: int = 0, workers: int | None = None,
+             ref_configs: int = 4, timeout: float | None = 120.0) -> list[dict]:
+    """Check ``count`` generated cases; returns per-case result dicts."""
+    tasks = [(seed + index, ref_configs) for index in range(count)]
+    return resilient_map(_check_seed, tasks, workers, timeout=timeout)
+
+
+def summarize_run(results: list[dict]) -> dict:
+    """Aggregate a campaign: totals plus the divergent cases."""
+    divergent = [r for r in results if real_divergences(r)]
+    generator_bugs = [
+        r for r in results
+        if any(d["kind"] in ("golden-timeout", "generator-invalid")
+               for d in r["divergences"])
+    ]
+    return {
+        "cases": len(results),
+        "configs_checked": sum(r["configs_checked"] for r in results),
+        "divergent_cases": [r["name"] for r in divergent],
+        "divergences": [d for r in divergent for d in real_divergences(r)],
+        "generator_bugs": [r["name"] for r in generator_bugs],
+    }

@@ -1,0 +1,79 @@
+"""Automatic minimization of divergent fuzz cases.
+
+Given a case the harness flags as divergent, the shrinker repeatedly
+tries structural reductions — deleting one program entry, or dropping
+one input token — and keeps any reduction under which the case *still*
+diverges.  A reduction that breaks the case (it no longer assembles, or
+the golden model no longer halts) is simply rejected: the harness
+reports those as ``generator-invalid`` / ``golden-timeout``, which
+:func:`repro.verify.harness.real_divergences` excludes, so the shrinker
+can never wander into degenerate never-halting programs.
+
+The reduction order is deterministic, so shrinking is reproducible and
+idempotent: shrinking an already-minimal case returns it unchanged.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.params import ArchParams, DEFAULT_PARAMS
+from repro.verify.harness import check_case, real_divergences
+
+
+def _is_divergent(case: dict, params: ArchParams, ref_configs: int) -> bool:
+    return bool(real_divergences(check_case(case, params,
+                                            ref_configs=ref_configs)))
+
+
+def _without_entry(case: dict, index: int) -> dict:
+    reduced = copy.deepcopy(case)
+    del reduced["entries"][index]
+    return reduced
+
+
+def _without_token(case: dict, queue: str, index: int) -> dict:
+    reduced = copy.deepcopy(case)
+    del reduced["streams"][queue][index]
+    if not reduced["streams"][queue]:
+        del reduced["streams"][queue]
+    return reduced
+
+
+def shrink_case(case: dict, params: ArchParams = DEFAULT_PARAMS,
+                ref_configs: int = 2, max_checks: int = 400) -> dict:
+    """Minimize a divergent case; returns the smallest still-divergent
+    form (the case itself if it is not divergent to begin with)."""
+    checks = 0
+
+    def divergent(candidate: dict) -> bool:
+        nonlocal checks
+        checks += 1
+        return _is_divergent(candidate, params, ref_configs)
+
+    if not divergent(case):
+        return case
+    current = copy.deepcopy(case)
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        # Entries, back to front so indices stay valid across deletions
+        # and tails (halt, loop scaffolding) are attacked first.
+        for index in reversed(range(len(current["entries"]))):
+            if checks >= max_checks:
+                break
+            candidate = _without_entry(current, index)
+            if candidate["entries"] and divergent(candidate):
+                current = candidate
+                progress = True
+        for queue in sorted(current["streams"]):
+            for index in reversed(range(len(current["streams"][queue]))):
+                if checks >= max_checks:
+                    break
+                candidate = _without_token(current, queue, index)
+                if divergent(candidate):
+                    current = candidate
+                    progress = True
+    if not current["name"].endswith("-min"):
+        current["name"] += "-min"
+    return current

@@ -54,6 +54,25 @@ def test_accuracy_accounting():
     assert abs(predictor.accuracy - 2 / 3) < 1e-12
 
 
+def test_forced_inversion_excluded_from_accuracy():
+    """Fault-injected inversions must not pollute Figure 4 statistics."""
+    predictor = PredicatePredictor(P)
+    predictor.record_resolution(True)
+    predictor.record_resolution(False, forced=True)
+    assert predictor.predictions == 1
+    assert predictor.forced == 1
+    assert predictor.accuracy == 1.0
+
+
+def test_predict_flags_forced_inversions():
+    predictor = PredicatePredictor(P)
+    predictor.force_invert_next = True
+    assert predictor.predict(0) == 1
+    assert predictor.last_forced
+    assert predictor.predict(0) == 0
+    assert not predictor.last_forced
+
+
 def test_reset():
     predictor = PredicatePredictor(P)
     predictor.record_outcome(0, 1)

@@ -78,6 +78,50 @@ class TestEffective:
         state.pending_enqs[0] = 9
         assert view.output_space(0) == 0
 
+    def test_tags_invisible_past_head_and_neck(self, setup):
+        """Section 5.3 hardware has only head and neck tag comparators;
+        an effective position of 2+ must read as unknown, not peek deep."""
+        inputs, outputs, state = setup
+        inputs[0].enqueue(30, tag=1)
+        inputs[0].commit()                    # occupancy 3, tags (0, 1, 1)
+        view = EffectiveQueueView(inputs, outputs, state)
+        state.pending_deqs[0] = 2
+        assert view.input_count(0) == 1       # occupancy math is still exact
+        assert view.input_tag(0, 0) is None   # third-from-head: no comparator
+
+
+class TestVisibilityWindowRegression:
+    """Minimized repro: with two dequeues in flight, a tag match visible
+    only at the third-from-head entry must not fire a trigger — the
+    hardware cannot see it."""
+
+    def test_third_from_head_tag_cannot_fire_a_trigger(self):
+        from repro.arch.scheduler import Scheduler, TriggerKind
+        from repro.isa.instruction import (
+            DatapathOp, Destination, Instruction, Operand, TagCheck, Trigger,
+        )
+        from repro.isa.opcodes import op_by_name
+        from repro.params import DEFAULT_PARAMS
+
+        inputs = [TaggedQueue(4, f"i{i}") for i in range(4)]
+        outputs = [TaggedQueue(4, f"o{i}") for i in range(4)]
+        for value, tag in ((1, 0), (2, 0), (3, 1)):
+            inputs[0].enqueue(value, tag)
+        inputs[0].commit()
+        state = InFlightQueueState(4, 4)
+        state.pending_deqs[0] = 2            # head and neck being dequeued
+        view = EffectiveQueueView(inputs, outputs, state)
+        program = [Instruction(
+            trigger=Trigger(tag_checks=(TagCheck(queue=0, tag=1),)),
+            dp=DatapathOp(
+                op=op_by_name("mov"),
+                srcs=(Operand.input_queue(0),),
+                dst=Destination.reg(0),
+            ),
+        )]
+        outcome = Scheduler(DEFAULT_PARAMS).evaluate(program, 0, view)
+        assert outcome.kind is TriggerKind.NONE_TRIGGERED
+
 
 class TestPadded:
     def test_output_checks_against_unpadded_capacity(self, setup):

@@ -193,6 +193,37 @@ class TestFaultInjection:
         assert injector.applied
         workload.check(system, 4, 0)
 
+    def test_forced_mispredict_excluded_from_accuracy(self):
+        """Minimized repro: an injected inversion rolls back like a real
+        misprediction but must not count as one — the genuine prediction
+        stream here is perfectly predictable, so accuracy stays 1.0."""
+        pe = PipelinedPE(config_by_name("T|DX +P"), name="forced")
+        # eqz on nonzero inputs writes p1 := 0 forever; the two-bit
+        # counter starts at weak-not, so every real prediction is correct.
+        assemble("""
+        when %p == XXXXXXX0 with %i0.0:
+            eqz %p1, %i0; deq %i0;
+        when %p == XXXXXXX0 with %i0.1:
+            halt;
+        """).configure(pe)
+        backlog = [(5, 0), (5, 0), (5, 0), (5, 0), (0, 1)]
+        injector = inject(pe, [FaultSpec(FaultClass.FORCE_MISPREDICT, cycle=2)])
+        for _ in range(200):
+            if pe.halted:
+                break
+            while backlog and not pe.inputs[0].is_full:
+                value, tag = backlog.pop(0)
+                pe.inputs[0].enqueue(value, tag)
+            pe.step()
+            pe.commit_queues()
+        assert pe.halted and injector.applied
+        assert pe.counters.forced_predictions == 1
+        assert pe.predictor.forced == 1
+        assert pe.counters.mispredictions == 0
+        assert pe.counters.predictions > 0
+        assert pe.counters.prediction_accuracy == 1.0
+        assert pe.predictor.accuracy == 1.0
+
     def test_disarm(self):
         pe = FunctionalPE(name="x")
         injector = inject(pe, [FaultSpec(FaultClass.REG_BIT_FLIP, cycle=1)])
