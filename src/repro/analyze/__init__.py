@@ -1,0 +1,52 @@
+"""Static analyzer for triggered-assembly programs and fabrics.
+
+Three layers:
+
+* :mod:`repro.analyze.abstract` — exhaustive reachability over the
+  finite predicate-vector state space, with queues kept abstract;
+* :mod:`repro.analyze.lints` — program-level rules (unreachable and
+  unsatisfiable triggers, shadowed and overlapping triggers, redundant
+  predicate literals, speculation-window dequeues);
+* :mod:`repro.analyze.fabric` — system-level rules over the channel
+  wiring (tag mismatches through ports, capacity-cycle deadlock risk).
+
+``python -m repro.analyze`` is the command-line front end;
+:mod:`repro.analyze.crossval` ties analyzer verdicts to fuzzer runs.
+"""
+
+from repro.analyze.abstract import Reachability, explore
+from repro.analyze.crossval import (
+    reachable_slots,
+    retired_outside,
+    stream_tag_sets,
+    unreachable_retirements,
+)
+from repro.analyze.fabric import analyze_system
+from repro.analyze.findings import (
+    Finding,
+    Severity,
+    count_by_severity,
+    render_json,
+    render_sarif,
+    render_text,
+    worst_severity,
+)
+from repro.analyze.lints import analyze_program
+
+__all__ = [
+    "Finding",
+    "Reachability",
+    "Severity",
+    "analyze_program",
+    "analyze_system",
+    "count_by_severity",
+    "explore",
+    "reachable_slots",
+    "render_json",
+    "retired_outside",
+    "render_sarif",
+    "render_text",
+    "stream_tag_sets",
+    "unreachable_retirements",
+    "worst_severity",
+]

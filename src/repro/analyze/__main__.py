@@ -1,0 +1,186 @@
+"""Command-line front end: ``python -m repro.analyze``.
+
+Modes (combinable; findings are concatenated):
+
+* positional ``file.s`` arguments — assemble and lint each program;
+* ``--workloads [NAME ...]`` — build the named Table 3 workloads (all
+  ten when no names are given) and run the full program + fabric
+  analysis over each system;
+* ``--corpus DIR`` — lint every saved fuzz case in a corpus directory
+  and cross-validate analyzer reachability against a golden-model run;
+* ``--fuzz N`` — generate ``N`` fresh cases (``--seed`` selects the
+  stream) and cross-validate each the same way;
+* ``--smoke`` — the CI battery: all workloads plus a small fuzz sweep,
+  failing on any warning-or-worse finding.
+
+``--format`` selects text, JSON, or SARIF output; ``--fail-on`` sets
+the severity at which findings flip the exit status (default
+``warning``, so speculation-window notes never fail a build).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analyze.crossval import stream_tag_sets, unreachable_retirements
+from repro.analyze.fabric import analyze_system
+from repro.analyze.findings import (
+    Finding,
+    Severity,
+    render_json,
+    render_sarif,
+    render_text,
+    worst_severity,
+)
+from repro.analyze.lints import analyze_program
+from repro.asm.assembler import assemble_file
+from repro.errors import ReproError
+from repro.params import DEFAULT_PARAMS
+
+
+def _workload_findings(names: list[str]) -> list[Finding]:
+    from repro.workloads.suite import WORKLOADS, get_workload
+
+    findings = []
+    for name in names or WORKLOADS():
+        workload = get_workload(name)
+        system = workload.build(workload.default_pe_factory(),
+                                workload.default_scale, seed=0)
+        for finding in analyze_system(system, workload.params):
+            findings.append(Finding(
+                rule=finding.rule, severity=finding.severity,
+                message=finding.message,
+                pe=f"{name}/{finding.pe}" if finding.pe else name,
+                slot=finding.slot, line=finding.line, column=finding.column,
+                snippet=finding.snippet,
+            ))
+    return findings
+
+
+def _case_findings(case: dict, lint: bool) -> list[Finding]:
+    """Cross-validate one fuzz case; optionally lint it too.
+
+    Lint findings on generated programs are informational (the generator
+    explores odd-but-legal shapes); a retirement from an
+    analyzer-unreachable slot is always an error — it falsifies either
+    the interpreter or the scheduler.
+    """
+    from repro.arch import FunctionalPE
+    from repro.asm.assembler import assemble
+    from repro.verify.generator import case_source, case_streams
+    from repro.verify.harness import GOLDEN_WATCHDOG, _run_model
+
+    name = case.get("name", "case")
+    try:
+        program = assemble(case_source(case), DEFAULT_PARAMS, name=name)
+    except ReproError:
+        # Shrinker reductions can leave dangling states; not analyzable.
+        return []
+    findings = list(analyze_program(program, DEFAULT_PARAMS, pe=name)
+                    ) if lint else []
+    streams = case_streams(case)
+    pe = FunctionalPE(DEFAULT_PARAMS, name=name)
+    program.configure(pe)
+    if _run_model(pe, streams, GOLDEN_WATCHDOG) is None:
+        return findings          # generator bug, not an analyzer claim
+    tag_sets = stream_tag_sets(streams, DEFAULT_PARAMS.num_input_queues)
+    for problem in unreachable_retirements(program, pe.counters,
+                                           DEFAULT_PARAMS, tag_sets):
+        findings.append(Finding(
+            rule="crossval-unreachable-retire", severity=Severity.ERROR,
+            message=problem, pe=name,
+        ))
+    return findings
+
+
+def _corpus_findings(directory: str) -> list[Finding]:
+    findings = []
+    paths = sorted(Path(directory).glob("*.json"))
+    if not paths:
+        raise ReproError(f"no corpus cases (*.json) under {directory!r}")
+    for path in paths:
+        case = json.loads(path.read_text())
+        findings += _case_findings(case, lint=False)
+    return findings
+
+
+def _fuzz_findings(count: int, seed: int) -> list[Finding]:
+    from repro.verify.generator import generate_case
+
+    findings = []
+    for index in range(count):
+        findings += _case_findings(generate_case(seed + index), lint=False)
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="Static analyzer for triggered-assembly programs.",
+    )
+    parser.add_argument("files", nargs="*", metavar="file.s",
+                        help="assembly sources to lint")
+    parser.add_argument("--workloads", nargs="*", metavar="NAME",
+                        default=None,
+                        help="analyze built workload systems "
+                             "(all ten when no names given)")
+    parser.add_argument("--corpus", metavar="DIR",
+                        help="cross-validate saved fuzz cases")
+    parser.add_argument("--fuzz", type=int, metavar="N", default=0,
+                        help="generate and cross-validate N fresh cases")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed for --fuzz (default 0)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI battery: all workloads + 25 fuzz cases")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text")
+    parser.add_argument("--fail-on", default="warning",
+                        choices=("error", "warning", "note", "never"),
+                        help="severity that flips the exit status "
+                             "(default: warning)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        if args.workloads is None:
+            args.workloads = []
+        if not args.fuzz:
+            args.fuzz = 25
+    if (not args.files and args.workloads is None and not args.corpus
+            and not args.fuzz):
+        parser.error("nothing to analyze: give files, --workloads, "
+                     "--corpus, or --fuzz")
+
+    findings: list[Finding] = []
+    try:
+        for path in args.files:
+            program = assemble_file(path)
+            findings += analyze_program(
+                program, DEFAULT_PARAMS,
+                pe=program.name or Path(path).name)
+        if args.workloads is not None:
+            findings += _workload_findings(args.workloads)
+        if args.corpus:
+            findings += _corpus_findings(args.corpus)
+        if args.fuzz:
+            findings += _fuzz_findings(args.fuzz, args.seed)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    renderer = {"text": render_text, "json": render_json,
+                "sarif": render_sarif}[args.format]
+    print(renderer(findings))
+
+    if args.fail_on == "never":
+        return 0
+    worst = worst_severity(findings)
+    if worst is not None and worst >= Severity.parse(args.fail_on):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,152 @@
+"""Abstract interpretation over the predicate-vector lattice.
+
+The triggered-control state of one PE is finite: with ``NPreds = 8``
+there are at most 256 predicate vectors, and the only architectural
+events that change them are issue-time :class:`PredUpdate` masks and
+datapath writes to a single predicate bit.  Queue contents, by contrast,
+depend on the rest of the fabric, so this interpreter keeps queues
+*abstract*: each input queue may be empty or may hold any tag from a
+per-queue possible-tag set (all tags when the caller has no wiring
+knowledge).
+
+From those two choices the interpreter computes, exactly, the set of
+reachable predicate states and — for every instruction slot — the states
+in which its trigger can be satisfied.  The walk mirrors
+:meth:`repro.arch.scheduler.Scheduler.evaluate` priority semantics:
+
+* an instruction whose guard matches but which has *queue conditions*
+  (required input queues, tag checks, or an output queue needing space)
+  **may** fire — the walk records it and continues, because the queues
+  may equally not cooperate this cycle;
+* an instruction whose guard matches and which has **no** queue
+  conditions *definitely* fires, so the walk stops: no lower-priority
+  slot can ever fire from this predicate state.
+
+The result over-approximates every runtime (functional or pipelined,
+with or without speculation): predicate hazards and forbidden cycles
+only ever *suppress* firings, never add them, so a slot the interpreter
+proves unreachable can never retire.  ``repro.verify`` leans on exactly
+that direction when it cross-validates analyzer verdicts against fuzzer
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+from repro.params import ArchParams, DEFAULT_PARAMS
+
+#: ``input_tags`` maps input-queue index -> tags that may ever appear on
+#: that queue.  A queue absent from the map may carry any tag; a queue
+#: mapped to an empty set can never hold data at all.
+TagSets = dict[int, frozenset[int]]
+
+
+@dataclass
+class Reachability:
+    """Everything the reachability pass learned about one program."""
+
+    #: Reachable predicate vectors (always includes the initial state).
+    states: set[int] = field(default_factory=set)
+    #: slot -> predicate states in which the slot's trigger can be
+    #: satisfied (slots absent from the map can never fire).
+    fire_states: dict[int, set[int]] = field(default_factory=dict)
+    #: slot -> successor predicate states produced by firing it there.
+    successors: dict[int, set[int]] = field(default_factory=dict)
+
+    @property
+    def reachable_slots(self) -> frozenset[int]:
+        return frozenset(self.fire_states)
+
+    def unreachable_slots(self, instructions: list[Instruction]) -> list[int]:
+        """Valid slots whose triggers can never be satisfied."""
+        return [
+            index for index, ins in enumerate(instructions)
+            if ins.valid and index not in self.fire_states
+        ]
+
+
+def queue_conditions(ins: Instruction) -> bool:
+    """Whether firing depends on queue state at all (may vs. will fire)."""
+    return (
+        bool(ins.required_input_queues)
+        or bool(ins.trigger.tag_checks)
+        or ins.output_queue is not None
+    )
+
+
+def tags_feasible(ins: Instruction, input_tags: TagSets | None,
+                  num_tags: int) -> bool:
+    """Whether the trigger's queue conditions can *ever* hold, given the
+    per-queue possible-tag sets."""
+    if input_tags is None:
+        return True
+    for queue in ins.required_input_queues:
+        if queue in input_tags and not input_tags[queue]:
+            return False     # the queue can never hold data
+    for check in ins.trigger.tag_checks:
+        possible = input_tags.get(check.queue)
+        if possible is None:
+            continue
+        if check.negate:
+            if not any(tag != check.tag for tag in possible):
+                return False
+        elif check.tag not in possible:
+            return False
+    return True
+
+
+def fire_successors(state: int, ins: Instruction) -> list[int]:
+    """Predicate states after ``ins`` issues (and retires) from ``state``.
+
+    The issue-time :class:`PredUpdate` is deterministic; a datapath write
+    to a predicate forks on both outcomes because queue values are
+    abstract.  A halting instruction stops the PE: no successors.
+    """
+    if ins.dp.op.effects.halts:
+        return []
+    after = ins.dp.pred_update.apply(state)
+    if ins.dp.writes_predicate:
+        bit = 1 << ins.dp.dst.index
+        return [after | bit, after & ~bit]
+    return [after]
+
+
+def explore(
+    instructions: list[Instruction],
+    initial_predicates: int = 0,
+    params: ArchParams = DEFAULT_PARAMS,
+    input_tags: TagSets | None = None,
+) -> Reachability:
+    """Exhaustive reachability over the finite predicate-state space."""
+    result = Reachability()
+    # Precompute per-slot facts that do not depend on the predicate state.
+    feasible = [
+        ins.valid and tags_feasible(ins, input_tags, params.num_tags)
+        for ins in instructions
+    ]
+    conditioned = [queue_conditions(ins) for ins in instructions]
+
+    initial = initial_predicates & ((1 << params.num_preds) - 1)
+    frontier = [initial]
+    result.states.add(initial)
+    while frontier:
+        state = frontier.pop()
+        for index, ins in enumerate(instructions):
+            if not feasible[index]:
+                continue
+            if not ins.trigger.predicates_match(state):
+                continue
+            result.fire_states.setdefault(index, set()).add(state)
+            nexts = result.successors.setdefault(index, set())
+            for successor in fire_successors(state, ins):
+                nexts.add(successor)
+                if successor not in result.states:
+                    result.states.add(successor)
+                    frontier.append(successor)
+            if not conditioned[index]:
+                # Definitely fires: the priority walk never reaches any
+                # lower slot from this predicate state.
+                break
+    return result

@@ -1,0 +1,70 @@
+"""Analyzer <-> runtime cross-validation.
+
+The reachability interpreter over-approximates every simulator: hazards
+and speculation only suppress firings, so a slot the analyzer proves
+unreachable must never retire at runtime.  These helpers check exactly
+that, turning every fuzz run and workload execution into a soundness
+test of the static analyzer (and vice versa: a retirement from a
+"proved dead" slot is a scheduler or interpreter bug either way).
+"""
+
+from __future__ import annotations
+
+from repro.analyze.abstract import TagSets, explore
+from repro.asm.program import Program
+from repro.params import ArchParams, DEFAULT_PARAMS
+
+
+def stream_tag_sets(streams: dict[int, list[tuple[int, int]]],
+                    num_input_queues: int) -> TagSets:
+    """Possible-tag sets matching a verify-harness stream plan.
+
+    The harness feeds each input queue exactly its stream and nothing
+    else, so a queue's possible tags are the tags in its stream — empty
+    for queues with no stream at all.
+    """
+    return {
+        queue: frozenset(tag for _, tag in streams.get(queue, []))
+        for queue in range(num_input_queues)
+    }
+
+
+def reachable_slots(
+    program: Program,
+    params: ArchParams = DEFAULT_PARAMS,
+    input_tags: TagSets | None = None,
+) -> frozenset[int]:
+    """Slots whose triggers the analyzer considers satisfiable."""
+    reach = explore(program.instructions, program.initial_predicates,
+                    params, input_tags)
+    return reach.reachable_slots
+
+
+def retired_outside(reachable: frozenset[int], counters) -> list[str]:
+    """Retirements from slots the analyzer proved unreachable.
+
+    ``counters`` is any counter block exposing ``retired_by_slot``; the
+    same ``reachable`` set can vet every microarchitecture that ran the
+    program.
+    """
+    return [
+        f"slot {slot} retired {count} time(s) but the analyzer proved "
+        "its trigger unreachable"
+        for slot, count in sorted(counters.retired_by_slot.items())
+        if count and slot not in reachable
+    ]
+
+
+def unreachable_retirements(
+    program: Program,
+    counters,
+    params: ArchParams = DEFAULT_PARAMS,
+    input_tags: TagSets | None = None,
+) -> list[str]:
+    """Slots that retired at runtime despite being analyzer-unreachable.
+
+    Returns human-readable descriptions (empty when the analyzer and
+    the run agree).
+    """
+    return retired_outside(reachable_slots(program, params, input_tags),
+                           counters)

@@ -1,0 +1,194 @@
+"""Finding model and report emitters for the static analyzer.
+
+A :class:`Finding` is one diagnostic produced by the program- or
+fabric-level lints: a stable rule identifier, a severity, a message, and
+enough source attribution (PE name, instruction slot, assembly
+line/column) that a reader can jump from the report straight to the
+offending ``when`` block.  Emitters render a finding list as terminal
+text, JSON, or SARIF 2.1.0 — the last so CI systems and editors that
+speak SARIF can ingest analyzer output without bespoke glue.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Finding severities, ordered so comparisons read naturally.
+
+    ``NOTE`` marks performance observations (e.g. a dequeue inside a
+    +P speculation window causes forbidden cycles, Section 5.2) that are
+    inherent to correct programs; ``WARNING`` marks almost-certainly
+    unintended program structure; ``ERROR`` marks programs that are
+    provably wrong (a trigger that can never be satisfied).
+    """
+
+    NOTE = 1
+    WARNING = 2
+    ERROR = 3
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @staticmethod
+    def parse(text: str) -> "Severity":
+        try:
+            return Severity[text.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; choose from "
+                f"{[s.label for s in Severity]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic from the static analyzer."""
+
+    rule: str
+    severity: Severity
+    message: str
+    pe: str | None = None         # PE / program name, when known
+    slot: int | None = None       # instruction priority slot
+    line: int | None = None       # 1-based assembly source line
+    column: int | None = None     # 1-based column of the ``when`` guard
+    snippet: str | None = field(default=None, compare=False)
+
+    @property
+    def location(self) -> str:
+        """Compact human-readable location string."""
+        parts = []
+        if self.pe:
+            parts.append(self.pe)
+        if self.slot is not None:
+            parts.append(f"slot {self.slot}")
+        if self.line is not None:
+            where = f"line {self.line}"
+            if self.column is not None:
+                where += f":{self.column}"
+            parts.append(where)
+        return ", ".join(parts)
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "message": self.message,
+            "pe": self.pe,
+            "slot": self.slot,
+            "line": self.line,
+            "column": self.column,
+        }
+
+
+def attach_source(finding: Finding, program) -> Finding:
+    """Return ``finding`` with the offending source line quoted, when the
+    program carries its assembly text (see ``Program.source``)."""
+    if finding.snippet is not None or finding.line is None or program is None:
+        return finding
+    text = program.source_line(finding.line)
+    if text is None:
+        return finding
+    return Finding(
+        rule=finding.rule, severity=finding.severity, message=finding.message,
+        pe=finding.pe, slot=finding.slot, line=finding.line,
+        column=finding.column, snippet=text.strip(),
+    )
+
+
+def worst_severity(findings: list[Finding]) -> Severity | None:
+    return max((f.severity for f in findings), default=None)
+
+
+def count_by_severity(findings: list[Finding]) -> dict[str, int]:
+    counts = {s.label: 0 for s in Severity}
+    for finding in findings:
+        counts[finding.severity.label] += 1
+    return counts
+
+
+# ----------------------------------------------------------------------
+# Emitters
+# ----------------------------------------------------------------------
+
+def render_text(findings: list[Finding]) -> str:
+    """Terminal report: one line per finding plus a severity summary."""
+    lines = []
+    for f in findings:
+        where = f" ({f.location})" if f.location else ""
+        lines.append(f"{f.severity.label}: {f.rule}{where}: {f.message}")
+        if f.snippet:
+            lines.append(f"    | {f.snippet}")
+    counts = count_by_severity(findings)
+    summary = ", ".join(
+        f"{counts[s.label]} {s.label}(s)"
+        for s in sorted(Severity, reverse=True)
+    )
+    lines.append(f"{len(findings)} finding(s): {summary}")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding]) -> str:
+    return json.dumps(
+        {
+            "findings": [f.as_dict() for f in findings],
+            "counts": count_by_severity(findings),
+        },
+        indent=2,
+    )
+
+
+#: SARIF maps severities onto its three result levels.
+_SARIF_LEVEL = {Severity.NOTE: "note", Severity.WARNING: "warning",
+                Severity.ERROR: "error"}
+
+
+def render_sarif(findings: list[Finding], tool_version: str = "1.0") -> str:
+    """Minimal SARIF 2.1.0 log: one run, one result per finding.
+
+    Findings that came from assembled sources carry a physical location
+    (the program's file path when assembled from disk, else the PE name
+    as a logical artifact).
+    """
+    rules: dict[str, dict] = {}
+    results = []
+    for f in findings:
+        rules.setdefault(f.rule, {"id": f.rule})
+        result: dict = {
+            "ruleId": f.rule,
+            "level": _SARIF_LEVEL[f.severity],
+            "message": {"text": f.message},
+        }
+        location: dict = {}
+        if f.pe:
+            location["logicalLocations"] = [{"name": f.pe}]
+        if f.line is not None:
+            region: dict = {"startLine": f.line}
+            if f.column is not None:
+                region["startColumn"] = f.column
+            location["physicalLocation"] = {
+                "artifactLocation": {"uri": f.pe or "<program>"},
+                "region": region,
+            }
+        if location:
+            result["locations"] = [location]
+        results.append(result)
+    log = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-analyze",
+                "version": tool_version,
+                "informationUri":
+                    "https://example.invalid/repro/analyze",
+                "rules": sorted(rules.values(), key=lambda r: r["id"]),
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(log, indent=2)

@@ -1,0 +1,368 @@
+"""Program-level lint rules over one PE's triggered program.
+
+Each rule is a pure function from the assembled program (plus optional
+fabric knowledge — the tags that can actually arrive on each input
+queue) to :class:`~repro.analyze.findings.Finding` objects:
+
+``unsatisfiable-trigger`` (error)
+    The trigger requires a predicate bit at a value the program can
+    never produce: the bit is *frozen* — no instruction's issue-time
+    update or datapath write ever touches it — yet the trigger demands
+    the opposite of its ``.start`` value.
+
+``redundant-pred-literal`` (warning)
+    The trigger spells out a frozen bit at exactly its frozen value.
+    The literal is vacuous; either the bit was meant to change or the
+    guard was meant to be wider.
+
+``unreachable-trigger`` (warning)
+    Exhaustive predicate-state exploration (:mod:`repro.analyze.abstract`)
+    proves the trigger can never be satisfied — dead code in the
+    instruction store.
+
+``trigger-shadowed`` (warning)
+    A higher-priority slot is eligible whenever this slot is, so the
+    priority encoder can never select it.
+
+``trigger-overlap`` (warning)
+    Two slots with *identical* predicate constraints can be eligible
+    simultaneously and their effects do not commute (common dequeue,
+    same destination register or predicate, conflicting predicate
+    updates, a halt, or clashing scratchpad traffic): which one runs
+    depends on data arrival timing.  Deliberate priority idioms — tag
+    dispatch on one queue, fair merges across queues — stay unflagged
+    because their effects commute or their tag checks conflict.
+
+``speculation-window`` (note)
+    A dequeue is reachable immediately after a datapath predicate
+    write.  Dequeues take effect before retirement, so the +P pipeline
+    must hold such instructions until the speculation resolves —
+    forbidden cycles (Section 5.2).  A performance observation, not a
+    bug: correct programs (e.g. ``merge``) do this by design.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.abstract import (
+    Reachability,
+    TagSets,
+    explore,
+    queue_conditions,
+    tags_feasible,
+)
+from repro.analyze.findings import Finding, Severity, attach_source
+from repro.asm.program import Program
+from repro.isa.instruction import DestinationType, Instruction
+from repro.params import ArchParams, DEFAULT_PARAMS
+
+
+def _finding(rule: str, severity: Severity, message: str, pe: str | None,
+             slot: int, ins: Instruction) -> Finding:
+    return Finding(rule=rule, severity=severity, message=message, pe=pe,
+                   slot=slot, line=ins.line, column=ins.column)
+
+
+# ----------------------------------------------------------------------
+# Frozen-bit rules
+# ----------------------------------------------------------------------
+
+def _touched_mask(instructions: list[Instruction]) -> int:
+    """Predicate bits some instruction can change (update mask or write)."""
+    touched = 0
+    for ins in instructions:
+        if not ins.valid:
+            continue
+        touched |= ins.dp.pred_update.touched
+        if ins.dp.writes_predicate:
+            touched |= 1 << ins.dp.dst.index
+    return touched
+
+
+def _frozen_bit_findings(
+    instructions: list[Instruction], initial: int, params: ArchParams,
+    pe: str | None,
+) -> tuple[list[Finding], set[int]]:
+    """Unsatisfiable / redundant literals on frozen bits.
+
+    Returns the findings plus the set of slots proved unsatisfiable, so
+    the reachability rule does not re-report them.
+    """
+    frozen = ~_touched_mask(instructions) & ((1 << params.num_preds) - 1)
+    findings: list[Finding] = []
+    unsatisfiable: set[int] = set()
+    for slot, ins in enumerate(instructions):
+        if not ins.valid:
+            continue
+        contradicted = []
+        vacuous = []
+        for bit in range(params.num_preds):
+            mask = 1 << bit
+            if not frozen & mask:
+                continue
+            value = bool(initial & mask)
+            if ins.trigger.pred_on & mask:
+                (vacuous if value else contradicted).append((bit, 1))
+            elif ins.trigger.pred_off & mask:
+                (contradicted if value else vacuous).append((bit, 0))
+        if contradicted:
+            bits = ", ".join(
+                f"%p{bit} == {want}" for bit, want in contradicted)
+            findings.append(_finding(
+                "unsatisfiable-trigger", Severity.ERROR,
+                f"trigger requires {bits}, but no instruction ever writes "
+                "the bit and its .start value is the opposite — this "
+                "instruction can never fire",
+                pe, slot, ins,
+            ))
+            unsatisfiable.add(slot)
+        elif vacuous:
+            bits = ", ".join(f"%p{bit} == {want}" for bit, want in vacuous)
+            findings.append(_finding(
+                "redundant-pred-literal", Severity.WARNING,
+                f"trigger tests {bits}, but the bit is frozen at that "
+                "value (never touched by any predicate update or datapath "
+                "write) — the literal is vacuous",
+                pe, slot, ins,
+            ))
+    return findings, unsatisfiable
+
+
+# ----------------------------------------------------------------------
+# Reachability rule
+# ----------------------------------------------------------------------
+
+def _unreachable_findings(
+    instructions: list[Instruction], reach: Reachability,
+    params: ArchParams, input_tags: TagSets | None,
+    pe: str | None, skip: set[int],
+) -> list[Finding]:
+    findings = []
+    for slot in reach.unreachable_slots(instructions):
+        if slot in skip:
+            continue
+        ins = instructions[slot]
+        if not tags_feasible(ins, input_tags, params.num_tags):
+            message = (
+                "trigger's queue conditions can never be met: the tags it "
+                "checks for never arrive on the wired channel"
+            )
+        else:
+            message = (
+                "trigger can never be satisfied from any reachable "
+                "predicate state — dead instruction slot"
+            )
+        findings.append(_finding(
+            "unreachable-trigger", Severity.WARNING, message, pe, slot, ins))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Shadow / overlap rules
+# ----------------------------------------------------------------------
+
+def _tag_requirement(ins: Instruction, queue: int) -> tuple[int, bool] | None:
+    """The (tag, negate) requirement ``ins`` places on ``queue``, if any.
+
+    Encoding validity guarantees at most one check per queue.
+    """
+    for check in ins.trigger.tag_checks:
+        if check.queue == queue:
+            return (check.tag, check.negate)
+    return None
+
+
+def _implies(earlier: Instruction, later: Instruction) -> bool:
+    """Whether *later* being eligible forces *earlier* to be eligible.
+
+    True exactly when every firing condition of ``earlier`` is implied by
+    a condition of ``later`` — predicate literals, queue availability,
+    tag checks, and output-queue space.
+    """
+    if earlier.trigger.pred_on & ~later.trigger.pred_on:
+        return False
+    if earlier.trigger.pred_off & ~later.trigger.pred_off:
+        return False
+    if not earlier.required_input_queues <= later.required_input_queues:
+        return False
+    for check in earlier.trigger.tag_checks:
+        other = _tag_requirement(later, check.queue)
+        if other is None:
+            return False
+        tag, negate = other
+        if check.negate:
+            # head != t is implied by head != t, or by head == t2 (t2 != t)
+            if not ((negate and tag == check.tag)
+                    or (not negate and tag != check.tag)):
+                return False
+        elif negate or tag != check.tag:
+            return False
+    earlier_out = earlier.output_queue
+    if earlier_out is not None and earlier_out != later.output_queue:
+        return False
+    return True
+
+
+def _tags_compatible(a: Instruction, b: Instruction) -> bool:
+    """Whether the two triggers' tag checks can hold simultaneously."""
+    for check in a.trigger.tag_checks:
+        other = _tag_requirement(b, check.queue)
+        if other is None:
+            continue
+        tag, negate = other
+        if not check.negate and not negate and tag != check.tag:
+            return False
+        if check.negate != negate and tag == check.tag:
+            return False
+    return True
+
+
+def _conflicting_effects(a: Instruction, b: Instruction) -> str | None:
+    """A human-readable reason the two actions do not commute, or None."""
+    common_deq = set(a.dp.deq) & set(b.dp.deq)
+    if common_deq:
+        queues = ", ".join(f"%i{q}" for q in sorted(common_deq))
+        return f"both dequeue {queues}"
+    for kind, what in ((DestinationType.REG, "register %r{}"),
+                       (DestinationType.PRED, "predicate %p{}")):
+        if (a.dp.dst.kind is kind and b.dp.dst.kind is kind
+                and a.dp.dst.index == b.dp.dst.index):
+            return "both write " + what.format(a.dp.dst.index)
+    pa, pb = a.dp.pred_update, b.dp.pred_update
+    if (pa.set_mask & pb.clear_mask) or (pa.clear_mask & pb.set_mask):
+        return "their predicate updates push a common bit both ways"
+    if a.dp.op.effects.halts or b.dp.op.effects.halts:
+        return "one of them halts the PE"
+    ea, eb = a.dp.op.effects, b.dp.op.effects
+    if (ea.touches_scratchpad and eb.touches_scratchpad
+            and (ea.stores_scratchpad or eb.stores_scratchpad)):
+        return "clashing scratchpad accesses"
+    return None
+
+
+def _shadow_overlap_findings(
+    instructions: list[Instruction], reach: Reachability,
+    pe: str | None, dead: set[int],
+) -> list[Finding]:
+    findings = []
+    live = [
+        slot for slot, ins in enumerate(instructions)
+        if ins.valid and slot not in dead
+    ]
+    shadowed: set[int] = set()
+    for j_pos, j in enumerate(live):
+        for i in live[:j_pos]:
+            if _implies(instructions[i], instructions[j]):
+                findings.append(_finding(
+                    "trigger-shadowed", Severity.WARNING,
+                    f"whenever this trigger is eligible, higher-priority "
+                    f"slot {i} is eligible too — the priority encoder can "
+                    "never select this instruction",
+                    pe, j, instructions[j],
+                ))
+                shadowed.add(j)
+                break
+    for j_pos, j in enumerate(live):
+        if j in shadowed:
+            continue
+        for i in live[:j_pos]:
+            a, b = instructions[i], instructions[j]
+            if a.trigger.pred_on != b.trigger.pred_on:
+                continue
+            if a.trigger.pred_off != b.trigger.pred_off:
+                continue
+            if not _tags_compatible(a, b):
+                continue
+            reason = _conflicting_effects(a, b)
+            if reason is None:
+                continue
+            findings.append(_finding(
+                "trigger-overlap", Severity.WARNING,
+                f"identical predicate guard as slot {i} and compatible "
+                f"queue conditions, but the actions do not commute "
+                f"({reason}) — which fires depends on data arrival timing",
+                pe, j, b,
+            ))
+            break
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Speculation-window rule
+# ----------------------------------------------------------------------
+
+def _speculation_findings(
+    instructions: list[Instruction], reach: Reachability,
+    params: ArchParams, input_tags: TagSets | None, pe: str | None,
+) -> list[Finding]:
+    feasible = [
+        ins.valid and tags_feasible(ins, input_tags, params.num_tags)
+        for ins in instructions
+    ]
+    pairs: set[tuple[int, int]] = set()
+    for writer, states in sorted(reach.successors.items()):
+        ins = instructions[writer]
+        if not ins.dp.writes_predicate:
+            continue
+        written = 1 << ins.dp.dst.index
+        for state in states:
+            for slot, candidate in enumerate(instructions):
+                if not feasible[slot]:
+                    continue
+                if not candidate.trigger.predicates_match(state):
+                    continue
+                if (candidate.dp.has_side_effects_before_retire
+                        and candidate.trigger.watched_predicates & written):
+                    # The dequeue's own eligibility rides on the
+                    # just-written bit: under +P it issues on a predicted
+                    # value and must therefore wait out the speculation.
+                    pairs.add((writer, slot))
+                if not queue_conditions(candidate):
+                    break
+    findings = []
+    for writer, slot in sorted(pairs):
+        ins = instructions[slot]
+        findings.append(_finding(
+            "speculation-window", Severity.NOTE,
+            f"dequeues {', '.join(f'%i{q}' for q in ins.dp.deq)} right "
+            f"after slot {writer}'s datapath write to "
+            f"%p{instructions[writer].dp.dst.index}; under +P the issue "
+            "is held until the speculation resolves (forbidden cycles, "
+            "Section 5.2)",
+            pe, slot, ins,
+        ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+def analyze_program(
+    program: Program,
+    params: ArchParams = DEFAULT_PARAMS,
+    pe: str | None = None,
+    input_tags: TagSets | None = None,
+) -> list[Finding]:
+    """All program-level findings for one assembled program.
+
+    ``input_tags`` optionally narrows what can arrive on each input
+    queue (see :data:`repro.analyze.abstract.TagSets`); the fabric
+    analyzer supplies it from the actual system wiring.
+    """
+    name = pe if pe is not None else (program.name or None)
+    instructions = program.instructions
+    initial = program.initial_predicates
+    reach = explore(instructions, initial, params, input_tags)
+
+    findings, unsatisfiable = _frozen_bit_findings(
+        instructions, initial, params, name)
+    dead = unsatisfiable | set(reach.unreachable_slots(instructions))
+    findings += _unreachable_findings(
+        instructions, reach, params, input_tags, name, unsatisfiable)
+    findings += _shadow_overlap_findings(instructions, reach, name, dead)
+    findings += _speculation_findings(
+        instructions, reach, params, input_tags, name)
+
+    findings.sort(key=lambda f: (f.slot if f.slot is not None else -1,
+                                 f.rule))
+    return [attach_source(f, program) for f in findings]

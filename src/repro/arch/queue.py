@@ -188,6 +188,14 @@ class TaggedQueue:
         self.version += 1
         return items
 
+    def entries(self) -> tuple[QueueEntry, ...]:
+        """Non-destructive view of every pending entry, live then staged.
+
+        Tooling helper (static analyzer, forensics): what would flow
+        through this channel if nothing else were enqueued.
+        """
+        return tuple(self._live) + tuple(self._staged)
+
     def snapshot(self) -> dict:
         """Forensic view of the queue: occupancy plus head and neck entries.
 

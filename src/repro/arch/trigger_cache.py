@@ -149,7 +149,7 @@ class CompiledDatapath:
         # back to alu_execute, which raises the canonical error.
         self.semantics = _SEMANTICS.get(dp.op.mnemonic)
         self.late_result = dp.op.late_result
-        self.is_halt = dp.op.mnemonic == "halt"
+        self.is_halt = dp.op.effects.halts
         plan = []
         for src in dp.srcs:
             if src.kind is OperandType.REG:

@@ -123,12 +123,48 @@ def _split_operands(text: str) -> list[str]:
     return [t.strip() for t in text.split(",") if t.strip()]
 
 
+class _BlockText:
+    """One ``when`` block's text, joined from source fragments.
+
+    Blocks may span several physical lines; joining them into one string
+    simplifies parsing but loses source coordinates.  This wrapper keeps
+    a fragment table so any character offset in the joined text maps
+    back to its original (line, column) — the coordinates assembler
+    errors and analyzer findings report.
+    """
+
+    def __init__(self, fragments: list[tuple[str, int, int]]) -> None:
+        # fragments: (stripped text, 1-indexed line, 0-indexed indent)
+        self.fragments = fragments
+        self.text = " ".join(text for text, _, _ in fragments)
+        self.starts: list[int] = []
+        offset = 0
+        for text, _, _ in fragments:
+            self.starts.append(offset)
+            offset += len(text) + 1   # the joining space
+
+    @property
+    def line(self) -> int:
+        return self.fragments[0][1]
+
+    def locate(self, offset: int) -> tuple[int, int]:
+        """(line, column) of a character offset in the joined text."""
+        index = 0
+        for i, start in enumerate(self.starts):
+            if offset >= start:
+                index = i
+        text, line, indent = self.fragments[index]
+        within = min(max(offset - self.starts[index], 0), len(text))
+        return line, indent + within + 1
+
+
 class _BlockParser:
     """Parses one ``when ...: actions`` block into an Instruction."""
 
-    def __init__(self, params: ArchParams, line: int, index: int) -> None:
+    def __init__(self, params: ArchParams, block: _BlockText, index: int) -> None:
         self.params = params
-        self.line = line
+        self.block = block
+        self.line, self.column = block.line, block.locate(0)[1]
         self.index = index
         self.op = None
         self.srcs: tuple[Operand, ...] = ()
@@ -136,61 +172,68 @@ class _BlockParser:
         self.imm = 0
         self.deq: tuple[int, ...] = ()
         self.pred_update = PredUpdate()
+        # Coordinates of the action currently being parsed, so errors
+        # point at the offending action rather than the block head.
+        self._at = (self.line, self.column)
 
-    def parse_action(self, action: str) -> None:
+    def parse_action(self, action: str, offset: int) -> None:
+        self._at = self.block.locate(offset)
+        line, column = self._at
         if m := _SET.match(action):
             if self.pred_update.touched:
-                raise AssemblerError("duplicate 'set %p' action", self.line)
+                raise AssemblerError("duplicate 'set %p' action", line, column)
             self.pred_update = _parse_set_pattern(
-                m.group("pattern"), self.params.num_preds, self.line
+                m.group("pattern"), self.params.num_preds, line
             )
             return
         if m := _DEQ.match(action):
             if self.deq:
-                raise AssemblerError("duplicate 'deq' action", self.line)
+                raise AssemblerError("duplicate 'deq' action", line, column)
             queues = []
             for token in _split_operands(m.group("queues")):
                 qm = _IN.match(token)
                 if not qm:
-                    raise AssemblerError(f"deq expects %iN operands, got {token!r}", self.line)
+                    raise AssemblerError(
+                        f"deq expects %iN operands, got {token!r}", line, column
+                    )
                 queues.append(int(qm.group(1)))
             self.deq = tuple(queues)
             return
-        self._parse_datapath(action)
+        self._parse_datapath(action, line, column)
 
-    def _parse_datapath(self, action: str) -> None:
+    def _parse_datapath(self, action: str, line: int, column: int) -> None:
         if self.op is not None:
             raise AssemblerError(
-                "more than one datapath operation in an instruction", self.line
+                "more than one datapath operation in an instruction", line, column
             )
         parts = action.split(None, 1)
         mnemonic = parts[0]
         try:
             op = op_by_name(mnemonic)
         except KeyError as exc:
-            raise AssemblerError(str(exc), self.line) from None
+            raise AssemblerError(str(exc), line, column) from None
         operands = _split_operands(parts[1]) if len(parts) > 1 else []
 
         expected = op.num_srcs + (1 if op.has_dst else 0)
         if len(operands) != expected:
             raise AssemblerError(
                 f"{mnemonic!r} expects {expected} operand(s), got {len(operands)}",
-                self.line,
+                line, column,
             )
 
         srcs = []
         imm_seen = False
         if op.has_dst:
-            self.dst = _parse_destination(operands[0], self.line)
+            self.dst = _parse_destination(operands[0], line)
             source_tokens = operands[1:]
         else:
             source_tokens = operands
         for token in source_tokens:
-            operand, imm = _parse_source(token, self.line)
+            operand, imm = _parse_source(token, line)
             if imm is not None:
                 if imm_seen:
                     raise AssemblerError(
-                        "at most one immediate per instruction", self.line
+                        "at most one immediate per instruction", line, column
                     )
                 imm_seen = True
                 self.imm = imm & self.params.word_mask
@@ -200,7 +243,10 @@ class _BlockParser:
 
     def build(self, trigger: Trigger) -> Instruction:
         if self.op is None:
-            raise AssemblerError("instruction block has no datapath operation", self.line)
+            raise AssemblerError(
+                "instruction block has no datapath operation",
+                self.line, self.column,
+            )
         ins = Instruction(
             trigger=trigger,
             dp=DatapathOp(
@@ -213,23 +259,27 @@ class _BlockParser:
             ),
             valid=True,
             label=f"ins{self.index}@line{self.line}",
+            line=self.line,
+            column=self.column,
         )
         try:
             ins.validate(self.params)
         except Exception as exc:
-            raise AssemblerError(str(exc), self.line) from exc
+            raise AssemblerError(str(exc), self.line, self.column) from exc
         return ins
 
 
-def assemble(source: str, params: ArchParams = DEFAULT_PARAMS, name: str = "") -> Program:
+def assemble(source: str, params: ArchParams = DEFAULT_PARAMS, name: str = "",
+             path: str | None = None) -> Program:
     """Assemble triggered-instruction source into a :class:`Program`."""
     # Strip comments while remembering source line numbers.
     lines = [( _COMMENT.sub("", raw).rstrip(), number + 1)
              for number, raw in enumerate(source.splitlines())]
 
     initial_predicates = 0
-    # Collect directives and concatenate the rest into (text, line) tokens.
-    body: list[tuple[str, int]] = []
+    # Collect directives and gather the rest as (text, line, indent)
+    # fragments; the indent survives so columns map back to the file.
+    body: list[tuple[str, int, int]] = []
     for text, number in lines:
         stripped = text.strip()
         if not stripped:
@@ -247,34 +297,34 @@ def assemble(source: str, params: ArchParams = DEFAULT_PARAMS, name: str = "") -
             continue
         if stripped.startswith("."):
             raise AssemblerError(f"unknown directive {stripped.split()[0]!r}", number)
-        body.append((stripped, number))
+        body.append((stripped, number, len(text) - len(text.lstrip())))
 
-    # Split the body into 'when' blocks.
-    blocks: list[tuple[str, int]] = []   # (block text, starting line)
-    current: list[str] = []
-    current_line = 0
-    for text, number in body:
+    # Split the body into 'when' blocks of source fragments.
+    blocks: list[_BlockText] = []
+    current: list[tuple[str, int, int]] = []
+    for fragment in body:
+        text, number, _ = fragment
         if text.startswith("when"):
             if current:
-                blocks.append((" ".join(current), current_line))
-            current = [text]
-            current_line = number
+                blocks.append(_BlockText(current))
+            current = [fragment]
         else:
             if not current:
                 raise AssemblerError(
                     f"statement before any 'when' guard: {text!r}", number
                 )
-            current.append(text)
+            current.append(fragment)
     if current:
-        blocks.append((" ".join(current), current_line))
+        blocks.append(_BlockText(current))
     if not blocks:
         raise AssemblerError("program contains no instructions")
 
     instructions = []
-    for index, (block, line) in enumerate(blocks):
-        m = _WHEN.match(block)
+    for index, block in enumerate(blocks):
+        line = block.line
+        m = _WHEN.match(block.text)
         if not m:
-            raise AssemblerError(f"malformed guard: {block[:60]!r}", line)
+            raise AssemblerError(f"malformed guard: {block.text[:60]!r}", line)
         on, off = _parse_pred_pattern(m.group("pattern"), params.num_preds, line)
         checks = []
         if m.group("checks"):
@@ -283,7 +333,7 @@ def assemble(source: str, params: ArchParams = DEFAULT_PARAMS, name: str = "") -
                 if not cm:
                     raise AssemblerError(
                         f"cannot parse trigger check {token!r} (expected %iN.T or %iN.!T)",
-                        line,
+                        line, block.locate(m.start("checks"))[1],
                     )
                 checks.append(
                     TagCheck(
@@ -294,11 +344,13 @@ def assemble(source: str, params: ArchParams = DEFAULT_PARAMS, name: str = "") -
                 )
         trigger = Trigger(pred_on=on, pred_off=off, tag_checks=tuple(checks))
 
-        parser = _BlockParser(params, line, index)
-        rest = block[m.end():]
-        for action in (a.strip() for a in rest.split(";")):
+        parser = _BlockParser(params, block, index)
+        offset = m.end()
+        for piece in block.text[m.end():].split(";"):
+            action = piece.strip()
             if action:
-                parser.parse_action(action)
+                parser.parse_action(action, offset + piece.index(action[0]))
+            offset += len(piece) + 1
         instructions.append(parser.build(trigger))
 
     if len(instructions) > params.num_instructions:
@@ -310,10 +362,12 @@ def assemble(source: str, params: ArchParams = DEFAULT_PARAMS, name: str = "") -
         instructions=instructions,
         initial_predicates=initial_predicates,
         name=name,
+        source=source,
+        path=path,
     )
 
 
 def assemble_file(path: str, params: ArchParams = DEFAULT_PARAMS) -> Program:
     """Assemble a ``.s`` file from disk."""
     with open(path, encoding="utf-8") as handle:
-        return assemble(handle.read(), params, name=path)
+        return assemble(handle.read(), params, name=path, path=path)

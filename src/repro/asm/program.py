@@ -16,11 +16,29 @@ class Program:
     ``initial_predicates`` comes from the optional ``.start %p = ...``
     directive and is applied to the predicate file before execution —
     programs use it to enter their start state.
+
+    ``source`` and ``path`` are diagnostic metadata: the assembler
+    records the original source text (and file path, when assembled from
+    disk) so tooling — assembler errors, the static analyzer's findings
+    — can cite and quote the offending source line.  Both are optional
+    and excluded from nothing: hand-built programs simply leave them
+    unset.
     """
 
     instructions: list[Instruction] = field(default_factory=list)
     initial_predicates: int = 0
     name: str = ""
+    source: str | None = None
+    path: str | None = None
+
+    def source_line(self, line: int) -> str | None:
+        """The 1-indexed source line, when source text is attached."""
+        if self.source is None or line < 1:
+            return None
+        lines = self.source.splitlines()
+        if line > len(lines):
+            return None
+        return lines[line - 1]
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -34,3 +52,6 @@ class Program:
         pe.load_program(self.instructions)
         pe.preds.reset(self.initial_predicates)
         pe._initial_predicates = self.initial_predicates
+        # Tooling breadcrumb: the static analyzer recovers the original
+        # Program (with its source text) from a programmed PE.
+        pe.loaded_program = self

@@ -14,6 +14,8 @@ performance counters from the designated worker PE.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.arch.queue import TaggedQueue
 from repro.errors import (
     ConfigError,
@@ -23,6 +25,27 @@ from repro.errors import (
 )
 from repro.fabric.lsq import LoadStoreQueue
 from repro.fabric.memory import Memory, MemoryReadPort, MemoryWritePort
+
+
+@dataclass
+class ChannelInfo:
+    """One channel's endpoints, as tooling (the static analyzer) sees them.
+
+    ``producer`` / ``consumer`` are ``(pe_name, queue_index)`` pairs when
+    a PE drives or drains the channel; ``port_producer`` /
+    ``port_consumer`` name a memory port or LSQ playing that role
+    instead.  ``feeds_from`` links a response channel back to the request
+    channel whose tags the port propagates (read ports and LSQ load
+    paths echo the request tag on the response, Section 6), so tag-flow
+    analysis can follow traffic through memory.
+    """
+
+    queue: TaggedQueue
+    producer: tuple[str, int] | None = None
+    consumer: tuple[str, int] | None = None
+    port_producer: str | None = None
+    port_consumer: str | None = None
+    feeds_from: TaggedQueue | None = None
 
 
 class System:
@@ -183,6 +206,49 @@ class System:
                     seen[id(queue)] = queue
         self._channels = list(seen.values())
         return self._channels
+
+    def wiring(self) -> list[ChannelInfo]:
+        """Structured channel inventory: every distinct queue with its
+        producing and consuming endpoints resolved.
+
+        This is the fabric-level input of :mod:`repro.analyze.fabric`:
+        channel identity is queue object identity (``connect`` makes the
+        producer's output queue and the consumer's input queue the same
+        object), and memory ports are annotated with the request channel
+        whose tags they propagate onto responses.
+        """
+        infos: dict[int, ChannelInfo] = {}
+
+        def info(queue: TaggedQueue) -> ChannelInfo:
+            return infos.setdefault(id(queue), ChannelInfo(queue=queue))
+
+        for pe in self.pes:
+            for index, queue in enumerate(pe.outputs):
+                info(queue).producer = (pe.name, index)
+            for index, queue in enumerate(pe.inputs):
+                info(queue).consumer = (pe.name, index)
+        for port in self.read_ports:
+            if port.request is not None:
+                info(port.request).port_consumer = port.name
+            if port.response is not None:
+                response = info(port.response)
+                response.port_producer = port.name
+                response.feeds_from = port.request
+        for port in self.write_ports:
+            for queue in (port.address, port.data):
+                if queue is not None:
+                    info(queue).port_consumer = port.name
+        for lsq in self.lsqs:
+            if lsq.load_request is not None:
+                info(lsq.load_request).port_consumer = lsq.name
+            if lsq.load_response is not None:
+                response = info(lsq.load_response)
+                response.port_producer = lsq.name
+                response.feeds_from = lsq.load_request
+            for queue in (lsq.store_address, lsq.store_data):
+                if queue is not None:
+                    info(queue).port_consumer = lsq.name
+        return list(infos.values())
 
     @property
     def all_halted(self) -> bool:

@@ -200,12 +200,21 @@ class DatapathOp:
 
 @dataclass(frozen=True)
 class Instruction:
-    """A complete triggered instruction: guard plus datapath operation."""
+    """A complete triggered instruction: guard plus datapath operation.
+
+    ``line``/``column`` are source coordinates of the ``when`` guard in
+    the originating assembly file, when the instruction came from the
+    assembler; they are excluded from equality so instructions compare
+    by meaning, and they flow into assembler errors and static-analyzer
+    findings.
+    """
 
     trigger: Trigger
     dp: DatapathOp
     valid: bool = True
     label: str = ""   # optional human-readable name from the assembler
+    line: int | None = field(default=None, compare=False)
+    column: int | None = field(default=None, compare=False)
 
     def validate(self, params: ArchParams) -> None:
         """Check this instruction against the architecture parameters.
@@ -315,7 +324,13 @@ class Instruction:
             raise EncodingError(f"{self._what()}: immediate {self.dp.imm} does not fit a word")
 
     def _what(self) -> str:
-        return f"instruction {self.label!r}" if self.label else "instruction"
+        what = f"instruction {self.label!r}" if self.label else "instruction"
+        if self.line is not None:
+            where = f"line {self.line}"
+            if self.column is not None:
+                where += f":{self.column}"
+            what += f" ({where})"
+        return what
 
     @property
     def required_input_queues(self) -> frozenset[int]:

@@ -38,6 +38,42 @@ class OpClass(enum.Enum):
 
 
 @dataclass(frozen=True)
+class OpEffects:
+    """Declarative per-opcode effect metadata.
+
+    This is the single source of truth for what an operation *does* to
+    architectural state beyond writing its destination.  The simulators,
+    the fuzz generator, and the static analyzer all read it — ad-hoc
+    mnemonic lists and string comparisons are exactly the kind of
+    knowledge that silently drifts when the ISA changes.
+
+    Note the split of responsibilities: *dequeues*, *enqueues* and
+    *writes_predicate* are properties of a particular instruction (its
+    ``deq`` list and destination kind), not of the opcode; the
+    capability flags here say whether an opcode's result can legally be
+    steered there at all (``has_dst``).  The opcode-intrinsic effects —
+    scratchpad traffic and halting — live only here.
+    """
+
+    stores_scratchpad: bool = False   # ssw: writes PE-local memory
+    loads_scratchpad: bool = False    # lsw: reads PE-local memory
+    halts: bool = False               # halt: stops the PE at retirement
+    boolean_result: bool = False      # result is a 0/1 truth value
+
+    @property
+    def side_effecting(self) -> bool:
+        """Architectural effect beyond the named destination write."""
+        return self.stores_scratchpad or self.halts
+
+    @property
+    def touches_scratchpad(self) -> bool:
+        return self.stores_scratchpad or self.loads_scratchpad
+
+
+_NO_EFFECTS = OpEffects()
+
+
+@dataclass(frozen=True)
 class Op:
     """One ISA operation."""
 
@@ -48,6 +84,7 @@ class Op:
     description: str
     late_result: bool = False   # resolves in X2 on split-ALU pipelines
     has_dst: bool = True        # produces a value to write somewhere
+    effects: OpEffects = _NO_EFFECTS
 
     @property
     def is_multiply(self) -> bool:
@@ -104,9 +141,18 @@ def _build_ops() -> tuple[Op, ...]:
         ("ssw", OpClass.MEMORY, 2, False, False, "Store word to scratchpad"),
         ("halt", OpClass.MISC, 0, False, False, "Halt this processing element"),
     ]
+    effects = {
+        "lsw": OpEffects(loads_scratchpad=True),
+        "ssw": OpEffects(stores_scratchpad=True),
+        "halt": OpEffects(halts=True),
+    }
+    boolean = OpEffects(boolean_result=True)
+    for m, c, _n, _late, _dst, _d in table:
+        if c in (OpClass.COMPARE, OpClass.PREDLOGIC):
+            effects[m] = boolean
     ops = tuple(
         Op(mnemonic=m, opcode=i, op_class=c, num_srcs=n, late_result=late,
-           has_dst=dst, description=d)
+           has_dst=dst, description=d, effects=effects.get(m, _NO_EFFECTS))
         for i, (m, c, n, late, dst, d) in enumerate(table)
     )
     return ops
@@ -140,3 +186,41 @@ def op_by_code(opcode: int) -> Op:
     if not 0 <= opcode < len(OPS):
         raise KeyError(f"opcode {opcode} out of range 0..{len(OPS) - 1}")
     return OPS[opcode]
+
+
+# ----------------------------------------------------------------------
+# Derived operation groups
+#
+# Consumers that need "every op of shape X" (the fuzz generator, the
+# static analyzer's commutation rules) derive the groups from the table
+# above instead of keeping their own mnemonic lists.
+# ----------------------------------------------------------------------
+
+ALU_OPS_1SRC: tuple[str, ...] = tuple(
+    op.mnemonic for op in OPS
+    if op.num_srcs == 1 and op.has_dst and not op.effects.touches_scratchpad
+)
+"""Pure one-source value-producing operations (no scratchpad traffic)."""
+
+ALU_OPS_2SRC: tuple[str, ...] = tuple(
+    op.mnemonic for op in OPS
+    if op.num_srcs == 2 and op.has_dst and not op.effects.touches_scratchpad
+)
+"""Pure two-source value-producing operations (no scratchpad traffic)."""
+
+BOOLEAN_OPS_1SRC: tuple[str, ...] = tuple(
+    op.mnemonic for op in OPS
+    if op.num_srcs == 1 and op.effects.boolean_result
+)
+"""One-source operations producing 0/1 (natural predicate writers)."""
+
+BOOLEAN_OPS_2SRC: tuple[str, ...] = tuple(
+    op.mnemonic for op in OPS
+    if op.num_srcs == 2 and op.effects.boolean_result
+)
+"""Two-source operations producing 0/1 (natural predicate writers)."""
+
+SIDE_EFFECTING_OPS: tuple[str, ...] = tuple(
+    op.mnemonic for op in OPS if op.effects.side_effecting
+)
+"""Opcodes with architectural effects beyond their destination write."""

@@ -31,6 +31,12 @@ from __future__ import annotations
 
 import random
 
+from repro.isa.opcodes import (
+    ALU_OPS_1SRC,
+    ALU_OPS_2SRC,
+    BOOLEAN_OPS_1SRC,
+    BOOLEAN_OPS_2SRC,
+)
 from repro.params import ArchParams, DEFAULT_PARAMS
 from repro.workloads.builder import ProgramBuilder
 
@@ -52,15 +58,15 @@ _FWD_QUEUE = 3
 _EDGE_IMMEDIATES = (0, 1, 2, 31, 32, 33, 63, 255, 0x7FFFFFFF,
                     0x80000000, 0xFFFFFFFF)
 
-_ALU_1SRC = ("mov", "not", "clz", "ctz", "popc", "brev", "sext8",
-             "sext16", "eqz", "nez")
-_ALU_2SRC = ("add", "sub", "mul", "mulh", "mulhu", "and", "or", "xor",
-             "nor", "nand", "xnor", "shl", "shr", "asr", "rol", "ror",
-             "eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule",
-             "ugt", "uge", "land", "lor")
-_COMPARE_2SRC = ("eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule",
-                 "ugt", "uge", "land", "lor")
-_COMPARE_1SRC = ("eqz", "nez")
+# Operation groups come from the declarative effects table in
+# :mod:`repro.isa.opcodes` — the generator must track the ISA, not a
+# private copy of it.  Seed stability note: these tuples are in opcode
+# order, exactly the order the hand-written lists used, so existing
+# corpus seeds reproduce bit-identically.
+_ALU_1SRC = ALU_OPS_1SRC
+_ALU_2SRC = ALU_OPS_2SRC
+_COMPARE_2SRC = BOOLEAN_OPS_2SRC
+_COMPARE_1SRC = BOOLEAN_OPS_1SRC
 
 
 def _imm(rng: random.Random, params: ArchParams) -> int:

@@ -25,6 +25,11 @@ through :func:`repro.parallel.resilient_map` and aggregate failures.
 
 from __future__ import annotations
 
+from repro.analyze.crossval import (
+    reachable_slots,
+    retired_outside,
+    stream_tag_sets,
+)
 from repro.arch import FunctionalPE
 from repro.asm.assembler import assemble
 from repro.asm.disassembler import disassemble
@@ -233,6 +238,21 @@ def check_case(case: dict, params: ArchParams = DEFAULT_PARAMS,
         return result
     result["golden_cycles"] = golden_print["cycles"]
 
+    # Analyzer cross-validation: reachability over-approximates every
+    # model, so a retirement from a slot the static analyzer proved
+    # unreachable falsifies the interpreter or the scheduler — either
+    # way a divergence.  One reachable-set computation vets all models.
+    reachable = reachable_slots(
+        program, params,
+        stream_tag_sets(streams, params.num_input_queues))
+    analysis_problems = retired_outside(reachable, golden.counters)
+    if analysis_problems:
+        result["divergences"].append({
+            "kind": "analysis",
+            "config": None,
+            "detail": "golden model: " + "; ".join(analysis_problems),
+        })
+
     ref_names = set(reference_config_names(case.get("seed") or 0, ref_configs))
     for config in CONFIGS:
         # Stalls cannot exceed a few pipeline depths per retired
@@ -265,6 +285,14 @@ def check_case(case: dict, params: ArchParams = DEFAULT_PARAMS,
                 "kind": "state",
                 "config": config.name,
                 "detail": "; ".join(fields),
+            })
+            continue
+        analysis_problems = retired_outside(reachable, fast.counters)
+        if analysis_problems:
+            result["divergences"].append({
+                "kind": "analysis",
+                "config": config.name,
+                "detail": "; ".join(analysis_problems),
             })
             continue
         if config.name in ref_names:

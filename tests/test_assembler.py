@@ -98,9 +98,16 @@ class TestSyntax:
 
 
 class TestErrors:
-    def test_error_carries_line_number(self):
-        with pytest.raises(AssemblerError, match="line 3"):
+    def test_error_carries_line_and_column(self):
+        # The bad action is on line 4, column 5 — errors cite the action's
+        # own location, not the block's ``when`` line.
+        with pytest.raises(AssemblerError, match=r"line 4:5"):
             assemble("\n\nwhen %p == XXXXXXXX:\n    bogus %r0, %r1;")
+
+    def test_instructions_carry_source_location(self):
+        # Each instruction is anchored at its block's ``when`` line.
+        program = assemble("\nwhen %p == XXXXXXXX:\n    nop;\nwhen %p == XXXXXXXX:\n    halt;")
+        assert [(i.line, i.column) for i in program.instructions] == [(2, 1), (4, 1)]
 
     def test_unknown_operation(self):
         with pytest.raises(AssemblerError, match="unknown operation"):
