@@ -310,6 +310,302 @@ class System:
             and all(lsq.idle for lsq in self.lsqs)
         )
 
+    def _run_interleaved(self, max_cycles: int, stall_limit: int) -> bool:
+        """The reference cycle loop: one :meth:`step` per iteration.
+        Returns True when every PE halted within the budget."""
+        idle_streak = 0
+        for _ in range(max_cycles):
+            if self.all_halted:
+                return True
+            progressed = self.step()
+            idle_streak = 0 if progressed else idle_streak + 1
+            if idle_streak >= stall_limit:
+                raise self._deadlock_error(
+                    "deadlock: no progress for "
+                    f"{stall_limit} cycles at cycle {self.cycles}"
+                )
+        return False
+
+    def _run_jit(self, max_cycles: int, stall_limit: int) -> bool:
+        """Hoisted-state cycle loop for all-jit systems (no system-level
+        instrumentation attached).
+
+        Per cycle this performs exactly :meth:`step`'s schedule — PEs in
+        order, read ports, write ports, LSQs, channel commits — but with
+        the fabric lists in locals, ports that provably cannot act
+        skipped (an idle read port only advances its private clock, which
+        is relative to acceptance time; a write port missing an operand
+        does nothing), and the progress predicate folded into the same
+        occupancy tests.  On single-PE systems without LSQs, whenever no
+        port can make progress until the PE next enqueues, the loop
+        delegates to the PE's generated block run — which commits the
+        PE's queues each cycle, exactly as the channel-commit pass here
+        would — and resumes interleaving the moment traffic appears.
+        """
+        live = [(pe._jit.step, pe) for pe in self.pes if not pe.halted]
+        rports = self.read_ports
+        wports = self.write_ports
+        lsqs = self.lsqs
+        channels = self._all_channels()
+        solo = self.pes[0] if (
+            len(self.pes) == 1
+            and not lsqs
+            and self.pes[0]._jit_block is not None
+        ) else None
+        counters = [pe.counters for pe in self.pes]
+        dq_prev = -1
+        idle_streak = 0
+        remaining = max_cycles
+        while remaining > 0:
+            if not live:
+                return True
+            if solo is not None:
+                for port in rports:
+                    if port._in_flight or (
+                        port.request is not None and port.request._live
+                    ):
+                        break
+                else:
+                    for port in wports:
+                        if (
+                            port.address is not None
+                            and port.address._live
+                            and port.data is not None
+                            and port.data._live
+                        ):
+                            break
+                    else:
+                        before = solo.counters.cycles
+                        try:
+                            idle_streak = solo._jit_block(
+                                remaining, True, idle_streak, stall_limit
+                            )
+                        except SimulationError as exc:
+                            self.cycles += max(
+                                0, solo.counters.cycles - before - 1
+                            )
+                            raise attribute_error(exc, solo.name, self.cycles)
+                        ran = solo.counters.cycles - before
+                        if ran:
+                            self.cycles += ran
+                            remaining -= ran
+                            if idle_streak >= stall_limit:
+                                raise self._deadlock_error(
+                                    "deadlock: no progress for "
+                                    f"{stall_limit} cycles at cycle "
+                                    f"{self.cycles}"
+                                )
+                            if solo.halted:
+                                live = []
+                            continue
+                        # Zero cycles: the block refused (a hook is
+                        # attached or entries are staged) — take the
+                        # interleaved path for this cycle.
+            prog = False
+            pruned = False
+            moved = False
+            multi = False
+            cand = None
+            pe = None
+            try:
+                for entry in live:
+                    pe = entry[1]
+                    if entry[0](pe):
+                        if prog:
+                            multi = True
+                        prog = True
+                        cand = entry
+                    if pe.halted:
+                        pruned = True
+            except SimulationError as exc:
+                raise attribute_error(exc, pe.name, self.cycles)
+            pe_prog = prog
+            if pruned:
+                live = [entry for entry in live if not entry[1].halted]
+            for port in rports:
+                if port._in_flight or (
+                    port.request is not None and port.request._live
+                ):
+                    if port.request is not None and port.request._live:
+                        moved = True
+                    port.step()
+                    prog = True
+            for port in wports:
+                if (
+                    port.address is not None
+                    and port.address._live
+                    and port.data is not None
+                    and port.data._live
+                ):
+                    port.step()
+                    prog = True
+                    moved = True
+            for lsq in lsqs:
+                busy_before = not lsq.idle
+                lsq.step()
+                if busy_before:
+                    prog = True
+            for channel in channels:
+                if channel._staged:
+                    channel.commit()
+                    moved = True
+            self.cycles += 1
+            remaining -= 1
+            if prog:
+                idle_streak = 0
+            else:
+                idle_streak += 1
+                if idle_streak >= stall_limit:
+                    raise self._deadlock_error(
+                        "deadlock: no progress for "
+                        f"{stall_limit} cycles at cycle {self.cycles}"
+                    )
+            dq_now = 0
+            for c_ in counters:
+                dq_now += c_.dequeues
+            deq = dq_now != dq_prev
+            dq_prev = dq_now
+            if moved or lsqs or not live:
+                continue
+            if pe_prog:
+                # A dequeue this cycle frees channel space a sibling that
+                # already evaluated (it steps earlier) only sees next
+                # cycle — it may fire then, so it is not quiescent.
+                if deq:
+                    continue
+                # Exactly one PE progressed, it is last in step order,
+                # and every other live PE is quiescent (empty pipe, no
+                # hooks, none-triggered this cycle): the runner's block
+                # entry point can batch cycles on its own.  Its enqueues
+                # and dequeues are the only events that can change what
+                # the quiescent PEs observe, and the block stops at the
+                # end of any cycle where either happens — because the
+                # runner steps last,
+                # siblings would only see the change the following
+                # cycle under interleaving too.  Quiescent PEs are then
+                # credited their cycle and none-triggered counts for
+                # every cycle the block ran.
+                if multi or cand is not live[-1]:
+                    continue
+                cp = cand[1]
+                if (
+                    cp._jit_block is None
+                    or cp.fault_hook is not None
+                    or cp.telemetry is not None
+                ):
+                    continue
+                ok = True
+                for entry in live:
+                    p = entry[1]
+                    if p is cp:
+                        continue
+                    if (
+                        p.fault_hook is not None
+                        or p.telemetry is not None
+                        or any(p._pipe)
+                    ):
+                        ok = False
+                        break
+                if ok:
+                    for port in rports:
+                        if port._in_flight:
+                            ok = False
+                            break
+                if not ok:
+                    continue
+                before = cp.counters.cycles
+                try:
+                    idle_streak = cp._jit_block(
+                        remaining, True, idle_streak, stall_limit,
+                        len(live) > 1,
+                    )
+                except SimulationError as exc:
+                    ran = max(0, cp.counters.cycles - before - 1)
+                    self.cycles += ran
+                    for entry in live:
+                        if entry[1] is not cp:
+                            pc = entry[1].counters
+                            pc.cycles += ran
+                            pc.none_triggered_cycles += ran
+                    raise attribute_error(exc, cp.name, self.cycles)
+                ran = cp.counters.cycles - before
+                if ran:
+                    self.cycles += ran
+                    remaining -= ran
+                    for entry in live:
+                        if entry[1] is not cp:
+                            pc = entry[1].counters
+                            pc.cycles += ran
+                            pc.none_triggered_cycles += ran
+                    if idle_streak >= stall_limit:
+                        raise self._deadlock_error(
+                            "deadlock: no progress for "
+                            f"{stall_limit} cycles at cycle {self.cycles}"
+                        )
+                    if cp.halted:
+                        live = [e for e in live if not e[1].halted]
+                continue
+            # No PE issued or retired this cycle and nothing changed any
+            # state a trigger can observe (no queue commit, no request
+            # dequeue, no store).  If on top of that every live PE has
+            # an empty pipeline and no per-PE hooks, its decision walk
+            # is a pure function of frozen state: each further cycle in
+            # this regime only increments its cycle and none-triggered
+            # counters, until a memory response commits.  Batch those
+            # wait cycles stepping only the in-flight read ports.
+            for entry in live:
+                p = entry[1]
+                if (
+                    p.fault_hook is not None
+                    or p.telemetry is not None
+                    or any(p._pipe)
+                ):
+                    break
+            else:
+                for port in rports:
+                    if port.request is not None and port.request._live:
+                        break
+                else:
+                    for port in wports:
+                        if (
+                            port.address is not None
+                            and port.address._live
+                            and port.data is not None
+                            and port.data._live
+                        ):
+                            break
+                    else:
+                        while remaining > 0:
+                            busy = False
+                            woke = False
+                            for port in rports:
+                                if port._in_flight:
+                                    port.step()
+                                    busy = True
+                            for channel in channels:
+                                if channel._staged:
+                                    channel.commit()
+                                    woke = True
+                            self.cycles += 1
+                            remaining -= 1
+                            for entry in live:
+                                pc = entry[1].counters
+                                pc.cycles += 1
+                                pc.none_triggered_cycles += 1
+                            if busy:
+                                idle_streak = 0
+                            else:
+                                idle_streak += 1
+                                if idle_streak >= stall_limit:
+                                    raise self._deadlock_error(
+                                        "deadlock: no progress for "
+                                        f"{stall_limit} cycles at cycle "
+                                        f"{self.cycles}"
+                                    )
+                            if woke:
+                                break
+        return False
+
     def run(
         self,
         max_cycles: int = 2_000_000,
@@ -323,21 +619,26 @@ class System:
         tags, in-flight pipeline registers, last-triggered instructions)
         — on deadlock (no architectural progress for ``stall_limit``
         cycles) or timeout.
+
+        When every PE carries a jit specialization and no system-level
+        instrumentation is attached, the cycle loop runs through
+        :meth:`_run_jit` — the same per-cycle schedule as :meth:`step`
+        with the fabric state hoisted, and, on single-PE systems, whole
+        stretches delegated to the PE's generated block loop while no
+        memory port can make progress.  Both drivers produce identical
+        architectural state, counters, and cycle counts.
         """
         if not self.pes:
             raise ConfigError("system has no PEs")
-        idle_streak = 0
-        for _ in range(max_cycles):
-            if self.all_halted:
-                break
-            progressed = self.step()
-            idle_streak = 0 if progressed else idle_streak + 1
-            if idle_streak >= stall_limit:
-                raise self._deadlock_error(
-                    "deadlock: no progress for "
-                    f"{stall_limit} cycles at cycle {self.cycles}"
-                )
+        if (
+            self.invariant_checker is None
+            and self.telemetry is None
+            and all(getattr(pe, "_jit", None) is not None for pe in self.pes)
+        ):
+            completed = self._run_jit(max_cycles, stall_limit)
         else:
+            completed = self._run_interleaved(max_cycles, stall_limit)
+        if not completed:
             raise self._deadlock_error(f"timeout after {max_cycles} cycles")
         # Let in-flight memory traffic land (stores issued just before halt).
         for _ in range(flush_limit):

@@ -1,0 +1,40 @@
+"""Per-config specialization backend for the pipelined PE (ROADMAP item 1).
+
+``repro.jit`` turns the interpreter's per-cycle generality into
+straight-line Python generated once per (program, partition, ±P,
+queue-policy, params) content fingerprint:
+
+* :mod:`repro.jit.codegen` — emits the specialized ``step``/``run``
+  source (stage walk unrolled, trigger resolution inlined per
+  descriptor, ALU semantics baked in).
+* :mod:`repro.jit.cache` — sha256 content fingerprinting and the
+  compile-once module cache.
+* :mod:`repro.jit.batch` — lockstep batching of N independent PE
+  instances through one compiled module for fuzz/DSE campaigns.
+
+Select it per PE with ``PipelinedPE(..., backend="jit")`` (the
+``REPRO_JIT`` environment variable flips the process-wide default).
+Instrumented paths — fault hooks, telemetry sinks — transparently fall
+back to the interpreter, cycle for cycle.
+"""
+
+from repro.jit.batch import JitBatch
+from repro.jit.cache import (
+    JitProgram,
+    cache_stats,
+    clear_cache,
+    fingerprint,
+    get_compiled,
+)
+from repro.jit.codegen import CODEGEN_VERSION, generate_source
+
+__all__ = [
+    "CODEGEN_VERSION",
+    "JitBatch",
+    "JitProgram",
+    "cache_stats",
+    "clear_cache",
+    "fingerprint",
+    "generate_source",
+    "get_compiled",
+]

@@ -1,0 +1,97 @@
+"""Lockstep batching: N independent PE instances through one compiled module.
+
+Fuzz and design-space-exploration campaigns evaluate the *same* program
+(or a small set of programs) across many seeds, queue preloads, or
+stimulus schedules.  :class:`JitBatch` arranges the instances
+structure-of-arrays style: every member PE of a batch lane shares the
+single compiled specialization for its (program, config, params)
+fingerprint, and :meth:`step` advances all live members one cycle by
+running that one generated ``step`` over the dense member list — no
+per-member dispatch through the interpreter's generic walk, no
+re-deriving of the specialization per instance.
+
+Members stay full :class:`~repro.pipeline.core.PipelinedPE` objects, so
+any member can be pulled out of the batch and inspected (or stepped
+individually) with identical semantics; the batch only owns the
+lockstep schedule, not the state layout.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import ConfigError
+from repro.isa.instruction import Instruction
+from repro.params import ArchParams, DEFAULT_PARAMS
+from repro.pipeline.config import PipelineConfig, SINGLE_CYCLE
+from repro.pipeline.core import PipelinedPE
+
+
+class JitBatch:
+    """Steps independent PE instances in lockstep through shared codegen."""
+
+    def __init__(
+        self,
+        config: PipelineConfig = SINGLE_CYCLE,
+        params: ArchParams = DEFAULT_PARAMS,
+    ) -> None:
+        self.config = config
+        self.params = params
+        self.pes: list[PipelinedPE] = []
+        # Dense (step_function, pe) pairs, rebuilt when membership changes.
+        self._lanes: list[tuple[Callable[[PipelinedPE], bool], PipelinedPE]] = []
+        self.cycles = 0
+
+    def __len__(self) -> int:
+        return len(self.pes)
+
+    def add(
+        self,
+        instructions: Sequence[Instruction],
+        name: str | None = None,
+    ) -> PipelinedPE:
+        """Create a member PE running ``instructions`` under the batch config."""
+        pe = PipelinedPE(
+            config=self.config,
+            params=self.params,
+            name=name or f"lane{len(self.pes)}",
+            backend="jit",
+        )
+        pe.load_program(list(instructions))
+        if pe._jit is None:
+            raise ConfigError(
+                f"batch member {pe.name!r} failed to specialize; "
+                "JitBatch requires the jit backend"
+            )
+        self.pes.append(pe)
+        self._lanes.append((pe._jit.step, pe))
+        return pe
+
+    def step(self) -> int:
+        """Advance every live member one cycle; returns how many progressed.
+
+        Queue commits happen per member after its cycle, exactly as the
+        single-instance drivers do, so producer/consumer pairs wired
+        *within* one member observe the usual next-cycle visibility.
+        """
+        progressed = 0
+        for step_fn, pe in self._lanes:
+            if pe.halted:
+                continue
+            if step_fn(pe):
+                progressed += 1
+            pe.commit_queues()
+        self.cycles += 1
+        return progressed
+
+    def run(self, max_cycles: int) -> int:
+        """Step until every member halts or ``max_cycles`` elapse."""
+        for _ in range(max_cycles):
+            if all(pe.halted for pe in self.pes):
+                break
+            self.step()
+        return self.cycles
+
+    @property
+    def halted(self) -> bool:
+        return all(pe.halted for pe in self.pes)

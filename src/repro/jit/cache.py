@@ -1,0 +1,166 @@
+"""Content-addressed compilation cache for generated PE modules.
+
+The specialized source emitted by :mod:`repro.jit.codegen` depends only
+on the *content* of the (program, pipeline config, arch params) tuple —
+two PEs running the same program under the same configuration share one
+compiled module (the generated functions take the PE as their first
+argument and hold no per-PE state).  This module owns that keying:
+
+* :func:`fingerprint` — a sha256 over the canonical lowered form of the
+  program (the ``CompiledTrigger``/``CompiledDatapath`` fields the
+  generator consumes), every numeric the config contributes to codegen,
+  the full ``ArchParams`` tuple and ``CODEGEN_VERSION``.
+* :func:`get_compiled` — fingerprint → compile once → reuse.  Recompiles
+  of previously seen content are dictionary hits, which is what makes
+  fuzz/DSE campaigns (thousands of short programs, many repeated) pay
+  the ``compile()`` cost only per *distinct* program.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.isa.instruction import Instruction
+from repro.params import ArchParams
+from repro.pipeline.config import PipelineConfig
+
+from repro.jit.codegen import (
+    CODEGEN_VERSION,
+    generate_source,
+    semantics_table,
+)
+from repro.arch.trigger_cache import compile_datapaths, compile_program
+
+
+@dataclass(frozen=True)
+class JitProgram:
+    """One compiled specialization: its key, source and entry points."""
+
+    key: str
+    source: str
+    step: Callable[..., bool]
+    run: Callable[..., int]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    compile_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "compile_seconds": self.compile_seconds,
+        }
+
+
+_CACHE: dict[str, JitProgram] = {}
+STATS = CacheStats()
+
+
+def fingerprint(
+    instructions: list[Instruction],
+    config: PipelineConfig,
+    params: ArchParams,
+) -> str:
+    """Content key over everything the generator bakes into the source."""
+    compiled = compile_program(instructions)
+    dp_meta = compile_datapaths(instructions, params)
+    triggers = tuple(
+        (
+            d.index, d.pred_on, d.pred_off, d.watched,
+            d.required_queues, d.tag_checks, d.out_queue, d.side_effects,
+        )
+        for d in compiled.descriptors
+    )
+    datapaths = tuple(
+        (
+            meta.op.mnemonic, meta.late_result, meta.is_halt,
+            meta.operand_plan, meta.reg_srcs, meta.deq,
+            meta.dst_kind, meta.dst_index, meta.out_tag, meta.out_queue,
+            meta.pred_update.set_mask, meta.pred_update.clear_mask,
+            meta.writes_reg, meta.writes_pred, meta.semantics is None,
+        )
+        for meta in dp_meta
+    )
+    canon = (
+        CODEGEN_VERSION,
+        triggers,
+        datapaths,
+        config.name,
+        tuple(config.stages),
+        config.predicate_prediction,
+        config.queue_policy.value,
+        config.speculative_depth,
+        config.depth,
+        config.decode_stage,
+        config.early_result_stage,
+        config.late_result_stage,
+        dataclasses.astuple(params),
+    )
+    return hashlib.sha256(repr(canon).encode()).hexdigest()
+
+
+def _namespace() -> dict[str, Any]:
+    """Globals injected into every generated module."""
+    # Imported here (not at module top) to keep repro.jit importable
+    # without dragging the full pipeline in, and to avoid import cycles
+    # when pipeline.core lazily imports this module.
+    from repro.isa.alu import AluResult, alu_execute
+    from repro.pipeline.core import PipelinedPE, _InFlight, _Speculation
+
+    return {
+        "_InFlight": _InFlight,
+        "_Speculation": _Speculation,
+        "AluResult": AluResult,
+        "_ALU_EXEC": alu_execute,
+        # The *class* function — calling it with a PE positionally runs
+        # one pure-interpreter cycle regardless of any instance binding.
+        "_INTERP_STEP": PipelinedPE.step,
+    }
+
+
+def get_compiled(
+    instructions: list[Instruction],
+    config: PipelineConfig,
+    params: ArchParams,
+) -> JitProgram:
+    """Return the compiled specialization, generating it on first use."""
+    key = fingerprint(instructions, config, params)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        STATS.hits += 1
+        return cached
+    STATS.misses += 1
+    import time
+
+    started = time.perf_counter()
+    source = generate_source(instructions, config, params)
+    namespace = _namespace()
+    namespace["SEM"] = semantics_table(instructions, params)
+    code = compile(source, f"<jit:{key[:12]}>", "exec")
+    exec(code, namespace)
+    STATS.compile_seconds += time.perf_counter() - started
+    program = JitProgram(
+        key=key, source=source,
+        step=namespace["step"], run=namespace["run"],
+    )
+    _CACHE[key] = program
+    return program
+
+
+def clear_cache() -> None:
+    """Drop all compiled modules and reset the hit/miss statistics."""
+    _CACHE.clear()
+    STATS.hits = 0
+    STATS.misses = 0
+    STATS.compile_seconds = 0.0
+
+
+def cache_stats() -> dict[str, Any]:
+    return {**STATS.as_dict(), "entries": len(_CACHE)}

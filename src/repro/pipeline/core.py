@@ -33,6 +33,7 @@ restored with the actual outcome.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -119,6 +120,27 @@ class _Speculation:
     forced: bool = False   # injected inversion; excluded from accuracy stats
 
 
+def _resolve_backend(backend: str) -> str:
+    """Validate the executor choice, honoring the ``REPRO_JIT`` override.
+
+    ``REPRO_JIT=1`` forces the specialization backend process-wide and
+    ``REPRO_JIT=0`` forces the interpreter, regardless of what callers
+    request — the escape hatches the differential harnesses use to run
+    one corpus through both executors without threading a flag through
+    every constructor.
+    """
+    if backend not in ("interp", "jit"):
+        raise SimulationError(
+            f"unknown backend {backend!r}; choose 'interp' or 'jit'"
+        )
+    override = os.environ.get("REPRO_JIT")
+    if override == "1":
+        return "jit"
+    if override == "0":
+        return "interp"
+    return backend
+
+
 class PipelinedPE:
     """A triggered PE with a configurable pipeline microarchitecture."""
 
@@ -130,6 +152,7 @@ class PipelinedPE:
         has_scratchpad: bool = True,
         initial_predicates: int = 0,
         fast_path: bool = True,
+        backend: str = "interp",
     ) -> None:
         self.config = config
         self.params = params
@@ -178,6 +201,9 @@ class PipelinedPE:
         # Fast path: triggers compiled at load time plus a memoized
         # trigger decision keyed on everything `evaluate` can observe.
         self.fast_path = fast_path
+        self.backend = _resolve_backend(backend)
+        self._jit = None          # compiled specialization (repro.jit)
+        self._jit_block = None    # bound block-stepping entry point
         self._compiled = None
         self._dp_meta: list[CompiledDatapath] = []
         self._decision_cache: dict[tuple, object] = {}
@@ -211,6 +237,28 @@ class PipelinedPE:
         self._compiled = compile_program(self.instructions) if self.fast_path else None
         self._dp_meta = compile_datapaths(self.instructions, self.params)
         self._decision_cache.clear()
+        self._bind_backend()
+
+    def _bind_backend(self) -> None:
+        """Attach (or detach) the specialized executor for this program.
+
+        On the ``jit`` backend the content-cached generated ``step``
+        shadows the interpreter via an instance binding, and the block
+        entry point becomes available to drivers through ``_jit_block``.
+        Both defer to the interpreter whenever a fault hook or telemetry
+        sink is attached, so instrumented runs stay bit-identical.
+        """
+        if self.backend == "jit" and self.instructions:
+            from repro.jit.cache import get_compiled
+
+            jit = get_compiled(self.instructions, self.config, self.params)
+            self._jit = jit
+            self.step = jit.step.__get__(self)
+            self._jit_block = jit.run.__get__(self)
+        else:
+            self._jit = None
+            self._jit_block = None
+            self.__dict__.pop("step", None)
 
     def invalidate_schedule_cache(self) -> None:
         """Drop memoized trigger decisions (call after external rewiring).
@@ -248,6 +296,40 @@ class PipelinedPE:
         for queue in self._sig_queues:
             if queue._staged:
                 queue.commit()
+
+    def run_cycles(self, max_cycles: int, stop_on_enqueue: bool = False) -> int:
+        """Drive this PE standalone for up to ``max_cycles`` cycles.
+
+        Queues commit after every cycle (the same schedule the fabric
+        drivers follow); returns the number of cycles consumed.  On the
+        jit backend this dispatches to the generated block loop; with a
+        fault hook or telemetry sink attached — or on the interpreter
+        backend — it steps cycle by cycle through :meth:`step`.
+        """
+        before = self.counters.cycles
+        if (
+            self._jit_block is not None
+            and self.fault_hook is None
+            and self.telemetry is None
+        ):
+            self._jit_block(max_cycles, stop_on_enqueue)
+            ran = self.counters.cycles - before
+            # Zero cycles means the block refused (entries were already
+            # staged on a queue); fall through to the per-cycle loop.
+            if ran or self.halted:
+                return ran
+        for _ in range(max_cycles):
+            if self.halted:
+                break
+            self.step()
+            stop = False
+            for queue in self._sig_queues:
+                if queue._staged:
+                    queue.commit()
+                    stop = True
+            if stop and stop_on_enqueue:
+                break
+        return self.counters.cycles - before
 
     # ------------------------------------------------------------------
     # Simulation

@@ -44,11 +44,12 @@ def _print_divergences(results: list[dict], limit: int = 5) -> None:
             shown += 1
 
 
-def _replay_corpus(directory: str, ref_configs: int) -> int:
+def _replay_corpus(directory: str, ref_configs: int, jit: bool = False) -> int:
     pairs = load_corpus(directory)
     failures = 0
     for path, case in pairs:
-        result = check_case(case, DEFAULT_PARAMS, ref_configs=ref_configs)
+        result = check_case(case, DEFAULT_PARAMS, ref_configs=ref_configs,
+                            jit=jit)
         bad = result["divergences"]
         if bad:
             failures += 1
@@ -82,6 +83,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--ref-configs", type=int, default=2,
                         help="configs per case that also run the reference "
                              "trigger walk")
+    parser.add_argument("--jit", action="store_true",
+                        help="additionally run every config under the "
+                             "repro.jit backend, held bit-identical to the "
+                             "interpreter fast path")
     parser.add_argument("--corpus", default=DEFAULT_CORPUS,
                         help="corpus directory to replay / shrink into")
     parser.add_argument("--no-shrink", action="store_true",
@@ -99,17 +104,18 @@ def main(argv: list[str] | None = None) -> int:
 
     started = time.monotonic()
     failures = 0
+    suffix = " (+jit leg)" if args.jit else ""
     if args.smoke:
-        print(f"[1/2] corpus replay ({args.corpus})...")
-        failures += _replay_corpus(args.corpus, args.ref_configs)
+        print(f"[1/2] corpus replay ({args.corpus}){suffix}...")
+        failures += _replay_corpus(args.corpus, args.ref_configs, jit=args.jit)
         print(f"\n[2/2] fuzz {count} cases, seed {seed}, "
-              f"{len(CONFIGS)} configs each...")
+              f"{len(CONFIGS)} configs each{suffix}...")
     else:
         print(f"fuzz {count} cases, seed {seed}, "
-              f"{len(CONFIGS)} configs each...")
+              f"{len(CONFIGS)} configs each{suffix}...")
 
     results = fuzz_run(count, seed=seed, workers=args.workers,
-                       ref_configs=args.ref_configs)
+                       ref_configs=args.ref_configs, jit=args.jit)
     summary = summarize_run(results)
     elapsed = time.monotonic() - started
     print(f"checked {summary['cases']} cases / "
@@ -131,7 +137,8 @@ def main(argv: list[str] | None = None) -> int:
             for result in divergent:
                 case = generate_case(result["seed"], DEFAULT_PARAMS)
                 small = shrink_case(case, DEFAULT_PARAMS,
-                                    ref_configs=args.ref_configs)
+                                    ref_configs=args.ref_configs,
+                                    jit=args.jit)
                 path = save_case(small, args.corpus)
                 print(f"  minimized repro written to {path}",
                       file=sys.stderr)

@@ -192,8 +192,13 @@ def reference_config_names(case_seed: int, count: int) -> list[str]:
 
 
 def check_case(case: dict, params: ArchParams = DEFAULT_PARAMS,
-               ref_configs: int = 4) -> dict:
-    """Run one case differentially; returns a JSON-able result dict."""
+               ref_configs: int = 4, jit: bool = False) -> dict:
+    """Run one case differentially; returns a JSON-able result dict.
+
+    With ``jit=True`` every configuration additionally runs under the
+    ``repro.jit`` specialization backend, held to bit-identical state,
+    cycle count, and counters against the interpreter fast path.
+    """
     result = {
         "name": case["name"],
         "seed": case.get("seed"),
@@ -295,6 +300,41 @@ def check_case(case: dict, params: ArchParams = DEFAULT_PARAMS,
                 "detail": "; ".join(analysis_problems),
             })
             continue
+        if jit:
+            jpe = PipelinedPE(config, params, name=f"{case['name']}-jit",
+                              backend="jit")
+            program.configure(jpe)
+            jit_print = _run_guarded(jpe, streams, bound)
+            if jit_print is not None and "crashed" in jit_print:
+                result["divergences"].append({
+                    "kind": "crash",
+                    "config": f"{config.name} (jit)",
+                    "detail": jit_print["crashed"],
+                })
+                continue
+            if jit_print is None:
+                result["divergences"].append({
+                    "kind": "hang",
+                    "config": f"{config.name} (jit)",
+                    "detail": f"no halt within {bound} cycles:\n"
+                              + _hang_dump(jpe),
+                })
+                continue
+            fields = _diff_states(fast_print, jit_print)
+            if jit_print["cycles"] != fast_print["cycles"]:
+                fields.append(
+                    f"cycles: fast={fast_print['cycles']} "
+                    f"jit={jit_print['cycles']}"
+                )
+            if fast.counters.as_dict() != jpe.counters.as_dict():
+                fields.append("counters differ between fast and jit")
+            if fields:
+                result["divergences"].append({
+                    "kind": "jit-vs-interp",
+                    "config": config.name,
+                    "detail": "; ".join(fields),
+                })
+                continue
         if config.name in ref_names:
             ref = PipelinedPE(config, params, name=f"{case['name']}-ref",
                               fast_path=False)

@@ -14,17 +14,18 @@ from repro.verify.generator import generate_case
 from repro.verify.harness import check_case, real_divergences
 
 
-def _check_seed(task: tuple[int, int]) -> dict:
+def _check_seed(task: tuple[int, int, bool]) -> dict:
     """Module-level worker (must pickle): generate and check one seed."""
-    seed, ref_configs = task
+    seed, ref_configs, jit = task
     case = generate_case(seed, DEFAULT_PARAMS)
-    return check_case(case, DEFAULT_PARAMS, ref_configs=ref_configs)
+    return check_case(case, DEFAULT_PARAMS, ref_configs=ref_configs, jit=jit)
 
 
 def fuzz_run(count: int, seed: int = 0, workers: int | None = None,
-             ref_configs: int = 4, timeout: float | None = 120.0) -> list[dict]:
+             ref_configs: int = 4, timeout: float | None = 120.0,
+             jit: bool = False) -> list[dict]:
     """Check ``count`` generated cases; returns per-case result dicts."""
-    tasks = [(seed + index, ref_configs) for index in range(count)]
+    tasks = [(seed + index, ref_configs, jit) for index in range(count)]
     return resilient_map(_check_seed, tasks, workers, timeout=timeout)
 
 

@@ -21,9 +21,11 @@ from repro.params import ArchParams, DEFAULT_PARAMS
 from repro.verify.harness import check_case, real_divergences
 
 
-def _is_divergent(case: dict, params: ArchParams, ref_configs: int) -> bool:
+def _is_divergent(case: dict, params: ArchParams, ref_configs: int,
+                  jit: bool) -> bool:
     return bool(real_divergences(check_case(case, params,
-                                            ref_configs=ref_configs)))
+                                            ref_configs=ref_configs,
+                                            jit=jit)))
 
 
 def _without_entry(case: dict, index: int) -> dict:
@@ -41,7 +43,8 @@ def _without_token(case: dict, queue: str, index: int) -> dict:
 
 
 def shrink_case(case: dict, params: ArchParams = DEFAULT_PARAMS,
-                ref_configs: int = 2, max_checks: int = 400) -> dict:
+                ref_configs: int = 2, max_checks: int = 400,
+                jit: bool = False) -> dict:
     """Minimize a divergent case; returns the smallest still-divergent
     form (the case itself if it is not divergent to begin with)."""
     checks = 0
@@ -49,7 +52,7 @@ def shrink_case(case: dict, params: ArchParams = DEFAULT_PARAMS,
     def divergent(candidate: dict) -> bool:
         nonlocal checks
         checks += 1
-        return _is_divergent(candidate, params, ref_configs)
+        return _is_divergent(candidate, params, ref_configs, jit)
 
     if not divergent(case):
         return case
