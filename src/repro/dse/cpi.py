@@ -138,6 +138,7 @@ class CpiTable:
         configs: list[PipelineConfig],
         workers: int | None = None,
         profile=None,
+        service=None,
     ) -> None:
         """Simulate every config not already in the table, in parallel.
 
@@ -154,9 +155,33 @@ class CpiTable:
         ``profile`` (a :class:`repro.obs.campaign.CampaignProfile`)
         records per-config wall-clock and worker utilization without
         changing any result.
+
+        ``service`` (a :class:`repro.serve.client.InProcessClient` or
+        :class:`~repro.serve.client.HttpClient`) routes the campaign
+        through the supervised campaign service instead of a private
+        process pool: identical results, but deduped against the
+        service's durable store and supervised for worker crashes and
+        hangs (``cpi-config`` task kind).
         """
         missing = [c for c in configs if c.name not in self._cpi]
         if not missing:
+            return
+        if service is not None:
+            import dataclasses
+
+            results = service.map("cpi-config", [
+                {
+                    "config": c.name,
+                    "scale": self.scale,
+                    "seed": self.seed,
+                    "params": dataclasses.asdict(self.params),
+                }
+                for c in missing
+            ])
+            for name, cpi, stack in results:
+                self._cpi[name] = cpi
+                self._stacks[name] = stack
+            self._save()
             return
         tasks = [(c, self.scale, self.seed, self.params) for c in missing]
         checkpoint = None

@@ -77,6 +77,7 @@ def sweep(
     include_fmax_points: bool = True,
     workers: int | None = None,
     profile=None,
+    service=None,
 ) -> list[DesignPoint]:
     """Close every feasible design point in the characterized space.
 
@@ -91,6 +92,12 @@ def sweep(
     ``profile`` (a :class:`repro.obs.campaign.CampaignProfile`)
     accumulates per-task timing across *both* phases — the CPI campaign
     and the synthesis closure — into one structured campaign report.
+
+    ``service`` (a :mod:`repro.serve` client) routes both phases —
+    ``cpi-config`` and ``dse-close`` task kinds — through the
+    supervised campaign service: results are unchanged, but identical
+    work is deduped against the durable store and an interrupted sweep
+    resumes from its completed tasks.
     """
     if configs is None:
         configs = all_configs()
@@ -98,12 +105,26 @@ def sweep(
         cpi_table = CpiTable()
     # Fill the CPI table first (parallel across configs) so the closure
     # tasks below are cheap, pure and picklable.
-    cpi_table.populate(configs, workers=workers, profile=profile)
-    tasks = [
-        (config, cpi_table.cpi(config), tech, include_fmax_points)
-        for config in configs
-    ]
-    per_config = resilient_map(_close_config, tasks, workers, profile=profile)
+    cpi_table.populate(configs, workers=workers, profile=profile,
+                       service=service)
+    if service is not None:
+        per_config = service.map("dse-close", [
+            {
+                "config": config.name,
+                "cpi": cpi_table.cpi(config),
+                "tech": tech.name,
+                "include_fmax": include_fmax_points,
+            }
+            for config in configs
+        ])
+    else:
+        tasks = [
+            (config, cpi_table.cpi(config), tech, include_fmax_points)
+            for config in configs
+        ]
+        per_config = resilient_map(
+            _close_config, tasks, workers, profile=profile
+        )
     points: list[DesignPoint] = []
     for sublist in per_config:
         points.extend(sublist)

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import tempfile
 import time
 import traceback
@@ -45,6 +46,29 @@ _T = TypeVar("_T")
 _R = TypeVar("_R")
 
 _UNSET = object()
+
+
+def retry_delay(
+    base: float,
+    attempt: int,
+    cap: float | None = None,
+    token: str = "",
+    seed: int = 0,
+) -> float:
+    """Capped exponential backoff with *deterministic* seeded jitter.
+
+    The jitter (up to +25% of the exponential delay) decorrelates
+    retries that would otherwise stampede in lockstep, but is a pure
+    function of ``(seed, token, attempt)`` — replaying a campaign
+    replays the exact same sleep schedule, which keeps retry behaviour
+    reproducible in tests and chaos runs.  ``attempt`` is 1-based.
+    """
+    rng = random.Random(f"{seed}:{token}:{attempt}")
+    delay = base * (2 ** max(0, attempt - 1))
+    delay *= 1.0 + rng.uniform(0.0, 0.25)
+    if cap is not None:
+        delay = min(delay, cap)
+    return delay
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -92,6 +116,20 @@ def parallel_map(
         return list(pool.map(fn, work))
 
 
+def _fsync_directory(directory: str) -> None:
+    """Best-effort durability for a rename within ``directory``."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 class Checkpoint:
     """Fingerprinted partial results of one campaign, on disk.
 
@@ -115,13 +153,22 @@ class Checkpoint:
         self._decode = decode or (lambda value: value)
         self._results: dict[str, object] = {}
         if os.path.exists(path):
+            # A corrupt or truncated checkpoint (torn by a crash before
+            # the atomic-replace discipline existed, or plain disk
+            # garbage) must never wedge a resume: treat anything
+            # unreadable or mis-shapen as an empty checkpoint and
+            # recompute.  Fingerprint mismatches are likewise ignored.
             try:
                 with open(path, encoding="utf-8") as handle:
                     payload = json.load(handle)
             except (OSError, ValueError):
                 payload = {}
+            if not isinstance(payload, dict):
+                payload = {}
             if payload.get("fingerprint") == fingerprint:
-                self._results = payload.get("results", {})
+                results = payload.get("results", {})
+                if isinstance(results, dict):
+                    self._results = results
 
     def __contains__(self, key: str) -> bool:
         return key in self._results
@@ -137,8 +184,11 @@ class Checkpoint:
         self._save()
 
     def _save(self) -> None:
-        # Atomic replace: a campaign killed mid-write must not corrupt
-        # the checkpoint it would later resume from.
+        # Crash-safe write: temp file in the same directory, fsync'd
+        # before an atomic ``os.replace``, then the directory fsync'd so
+        # the rename itself is durable.  A campaign killed (SIGKILL
+        # included) at any instant leaves either the old checkpoint or
+        # the complete new one — never a torn file.
         directory = os.path.dirname(os.path.abspath(self.path))
         fd, temp = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
@@ -147,7 +197,10 @@ class Checkpoint:
                     {"fingerprint": self.fingerprint, "results": self._results},
                     handle,
                 )
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(temp, self.path)
+            _fsync_directory(directory)
         except BaseException:
             if os.path.exists(temp):
                 os.unlink(temp)
@@ -180,12 +233,31 @@ def _call_traced(fn, item):
         )
 
 
+class WorkerTraceback(Exception):
+    """Carrier for a worker process's original traceback text.
+
+    Set as the ``__cause__`` of the :class:`~repro.errors.CampaignError`
+    a failed task raises, so the worker-side traceback survives the
+    pickle boundary *in the exception chain* (the same trick
+    ``concurrent.futures`` uses with ``_RemoteTraceback``) — ``raise``
+    displays the original frames under "direct cause" instead of
+    flattening them into message text only.
+    """
+
+    def __init__(self, tb: str) -> None:
+        self.tb = tb
+        super().__init__(tb)
+
+    def __str__(self) -> str:
+        return f"\n{self.tb}"
+
+
 def _raise_task_failure(index: int, failure) -> None:
-    name, message, tb = failure
+    name, message, tb = failure[:3]
     raise CampaignError(
         f"campaign task {index} failed: {name}: {message}",
         worker_traceback=tb,
-    )
+    ) from WorkerTraceback(tb)
 
 
 def resilient_map(
@@ -302,7 +374,9 @@ def _pool_rounds(
             attempt += 1
             if attempt > retries:
                 return pending    # degrade to serial in the caller
-            time.sleep(backoff * (2 ** (attempt - 1)))
+            # Deterministic schedule: the same campaign retries sleep
+            # the same jittered delays on every run (seeded by attempt).
+            time.sleep(retry_delay(backoff, attempt, token="pool"))
             continue
         finally:
             # Never block on a wedged worker; lingering processes are

@@ -172,6 +172,7 @@ def fault_campaign(
     seed: int = 0,
     workers: int | None = None,
     checkpoint_path: str | None = None,
+    service=None,
     **trial_kwargs,
 ) -> list[TrialResult]:
     """Run the full config x fault x workload x trial grid.
@@ -180,6 +181,11 @@ def fault_campaign(
     objects.  Results are in deterministic grid order regardless of
     worker count; with ``checkpoint_path`` an interrupted campaign
     resumes from its completed cells.
+
+    ``service`` (a :mod:`repro.serve` client) runs the grid as
+    ``fault-trial`` tasks on the supervised campaign service instead of
+    a private pool — same results, plus durable-store dedup/resume and
+    supervision against crashed or hung trial workers.
     """
     names = [
         config.name if isinstance(config, PipelineConfig) else config
@@ -200,6 +206,10 @@ def fault_campaign(
         for workload in workloads
         for trial in range(trials)
     ]
+    if service is not None:
+        return service.map(
+            "fault-trial", [dataclasses.asdict(task) for task in tasks]
+        )
     checkpoint = None
     if checkpoint_path:
         checkpoint = Checkpoint(

@@ -1,0 +1,50 @@
+"""``repro.serve`` — the supervised simulation-as-a-service tier.
+
+One hardened execution tier for every campaign in the tree (CPI tables,
+DSE sweeps, fault campaigns, fuzz runs):
+
+* :mod:`~repro.serve.service` — the asyncio campaign service;
+* :mod:`~repro.serve.supervisor` — health-checked worker pool with
+  kill/respawn, deterministic backoff retries, poison-task quarantine,
+  and serial degradation;
+* :mod:`~repro.serve.admission` — bounded priority job queue, per-client
+  rate limiting, load shedding;
+* :mod:`~repro.serve.store` — durable content-fingerprint-keyed result
+  store (sqlite) providing dedup and crash-safe checkpointed resume;
+* :mod:`~repro.serve.tasks` — the JSON-pure task-kind registry;
+* :mod:`~repro.serve.http` / :mod:`~repro.serve.client` — local
+  HTTP/JSON API and the in-process/HTTP clients;
+* :mod:`~repro.serve.chaos` — misbehaving task kinds for supervisor
+  tests and the kill -9 chaos gate.
+
+``python -m repro.serve --smoke`` is the CI gate; ``--chaos`` is the
+kill -9 resume demonstration; ``--serve`` runs the HTTP frontend.
+"""
+
+from repro.serve import chaos as _chaos   # register chaos task kinds
+from repro.serve.admission import AdmissionController, AdmissionError
+from repro.serve.client import HttpClient, InProcessClient
+from repro.serve.service import CampaignService, Job
+from repro.serve.store import ResultStore, canonical_json, task_fingerprint
+from repro.serve.supervisor import SupervisedTask, Supervisor, TaskOutcome
+from repro.serve.tasks import execute, register, registered_kinds
+
+del _chaos
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "CampaignService",
+    "HttpClient",
+    "InProcessClient",
+    "Job",
+    "ResultStore",
+    "SupervisedTask",
+    "Supervisor",
+    "TaskOutcome",
+    "canonical_json",
+    "execute",
+    "register",
+    "registered_kinds",
+    "task_fingerprint",
+]

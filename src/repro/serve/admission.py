@@ -1,0 +1,179 @@
+"""Admission control and backpressure for the campaign service.
+
+Under heavy traffic the service must shed load instead of growing
+memory without bound: a campaign is *admitted* only if the bounded job
+queue and task backlog have room and the submitting client is inside
+its rate budget.  Rejections are cheap, immediate, and carry a
+``retry_after`` hint, which the HTTP layer maps onto 429/503 responses.
+
+Determinism-friendly: the controller takes an injectable ``clock`` so
+the rate limiter's token buckets can be tested against a fake clock,
+and admitted jobs are dequeued in ``(priority desc, arrival)`` order
+with a monotone sequence number as the tiebreak, so a given submission
+history always drains identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections.abc import Callable
+
+from repro.errors import ReproError
+
+
+class AdmissionError(ReproError):
+    """The service refused a job (load shedding, not failure).
+
+    ``reason`` is machine-readable (``queue-full``, ``backlog-full``,
+    ``rate-limited``, ``job-too-large``); ``retry_after`` is a hint in
+    seconds (``None`` when retrying cannot help, e.g. oversized jobs).
+    """
+
+    def __init__(self, message: str, reason: str,
+                 retry_after: float | None = None):
+        self.reason = reason
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class TokenBucket:
+    """Standard token bucket: ``rate`` tokens/second, ``burst`` capacity."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._stamp) * self.rate
+        )
+        self._stamp = now
+
+    def try_take(self, tokens: float = 1.0) -> float | None:
+        """Take ``tokens`` now; ``None`` on success, else seconds to wait."""
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return None
+        if self.rate <= 0.0:
+            return float("inf")
+        return (tokens - self._tokens) / self.rate
+
+
+class AdmissionController:
+    """Bounded priority job queue plus per-client rate limiting.
+
+    * ``max_queued_jobs`` bounds jobs admitted but not yet activated;
+    * ``max_backlog_tasks`` bounds the total unfinished task count
+      across queued *and* active jobs (the real memory bound);
+    * ``max_job_tasks`` rejects oversized single jobs outright;
+    * ``rate``/``burst`` meter job submissions per client id.
+    """
+
+    def __init__(
+        self,
+        max_queued_jobs: int = 64,
+        max_backlog_tasks: int = 100_000,
+        max_job_tasks: int = 50_000,
+        rate: float = 50.0,
+        burst: float = 100.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.max_queued_jobs = max_queued_jobs
+        self.max_backlog_tasks = max_backlog_tasks
+        self.max_job_tasks = max_job_tasks
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._heap: list[tuple[int, int, object]] = []
+        self._seq = 0
+        #: Unfinished tasks across queued + active jobs, maintained by
+        #: the service via :meth:`task_started_tracking` /
+        #: :meth:`task_finished`.
+        self.backlog_tasks = 0
+        self.admitted_jobs = 0
+        self.rejected_jobs = 0
+        self.rejections: dict[str, int] = {}
+
+    # -- submission ------------------------------------------------------
+
+    def _reject(self, message: str, reason: str,
+                retry_after: float | None) -> AdmissionError:
+        self.rejected_jobs += 1
+        self.rejections[reason] = self.rejections.get(reason, 0) + 1
+        return AdmissionError(message, reason=reason, retry_after=retry_after)
+
+    def admit(self, job, *, client: str = "local", priority: int = 0,
+              tasks: int = 0) -> None:
+        """Admit a job or raise :class:`AdmissionError` (load shedding)."""
+        if tasks > self.max_job_tasks:
+            raise self._reject(
+                f"job of {tasks} tasks exceeds the per-job limit "
+                f"({self.max_job_tasks})",
+                reason="job-too-large", retry_after=None,
+            )
+        if len(self._heap) >= self.max_queued_jobs:
+            raise self._reject(
+                f"job queue full ({self.max_queued_jobs} jobs waiting)",
+                reason="queue-full", retry_after=1.0,
+            )
+        if self.backlog_tasks + tasks > self.max_backlog_tasks:
+            raise self._reject(
+                f"task backlog full ({self.backlog_tasks} unfinished + "
+                f"{tasks} requested > {self.max_backlog_tasks})",
+                reason="backlog-full", retry_after=1.0,
+            )
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = self._buckets[client] = TokenBucket(
+                self.rate, self.burst, clock=self._clock
+            )
+        wait = bucket.try_take()
+        if wait is not None:
+            raise self._reject(
+                f"client {client!r} over its submission rate "
+                f"({self.rate}/s, burst {self.burst})",
+                reason="rate-limited", retry_after=wait,
+            )
+        self.admitted_jobs += 1
+        self.backlog_tasks += tasks
+        heapq.heappush(self._heap, (-priority, self._seq, job))
+        self._seq += 1
+
+    # -- draining --------------------------------------------------------
+
+    def next_job(self):
+        """Highest-priority admitted job, or ``None`` when idle."""
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def task_finished(self, count: int = 1) -> None:
+        self.backlog_tasks = max(0, self.backlog_tasks - count)
+
+    @property
+    def queued_jobs(self) -> int:
+        return len(self._heap)
+
+    def stats(self) -> dict:
+        return {
+            "queued_jobs": self.queued_jobs,
+            "backlog_tasks": self.backlog_tasks,
+            "admitted_jobs": self.admitted_jobs,
+            "rejected_jobs": self.rejected_jobs,
+            "rejections": dict(sorted(self.rejections.items())),
+            "limits": {
+                "max_queued_jobs": self.max_queued_jobs,
+                "max_backlog_tasks": self.max_backlog_tasks,
+                "max_job_tasks": self.max_job_tasks,
+                "rate": self.rate,
+                "burst": self.burst,
+            },
+        }

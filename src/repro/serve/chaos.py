@@ -1,0 +1,78 @@
+"""Chaos task kinds: misbehaving work units for exercising the supervisor.
+
+The resilience layer injects faults into the *simulated machine*
+(:mod:`repro.resilience.faults`); this module injects faults into the
+*execution tier itself* — workers that die, hang, or always fail — so
+the supervisor's kill/respawn/retry/quarantine paths are tested against
+real processes, not mocks.
+
+The once-kinds coordinate across attempts through a marker file named
+in the payload: the first execution drops the marker (fsync'd, so a
+SIGKILL a microsecond later still finds it) and then misbehaves; the
+retry sees the marker and succeeds.  That makes each chaos task a
+deterministic function of its payload *plus on-disk attempt history*,
+which is exactly the shape of a real transient fault.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.serve.tasks import register
+
+
+def _drop_marker(path: str) -> bool:
+    """Atomically create the marker; True when this call created it."""
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    return True
+
+
+def crash_once(payload: dict):
+    """Die (hard, ``os._exit``) on the first execution; succeed after."""
+    if _drop_marker(payload["marker"]):
+        os._exit(payload.get("exit_code", 23))
+    return {"survived": True, "token": payload.get("token")}
+
+
+def hang_once(payload: dict):
+    """Hang far past any task timeout on the first execution."""
+    if _drop_marker(payload["marker"]):
+        time.sleep(payload.get("hang_seconds", 3600.0))
+    return {"survived": True, "token": payload.get("token")}
+
+
+def always_crash(payload: dict):
+    """Poison task: kills its worker on every attempt (quarantine bait)."""
+    os._exit(payload.get("exit_code", 29))
+
+
+def fail(payload: dict):
+    """Deterministic task exception (never retried, never quarantined)."""
+    raise ValueError(payload.get("message", "chaos task failure"))
+
+
+def echo(payload: dict):
+    """Trivially succeed; the cheap unit for queueing/dedup tests."""
+    return {"echo": payload.get("value")}
+
+
+def sleep(payload: dict):
+    """Sleep ``seconds`` then echo — an honest long-running task."""
+    time.sleep(payload.get("seconds", 0.1))
+    return {"slept": payload.get("seconds", 0.1), "token": payload.get("token")}
+
+
+register("chaos-crash-once", crash_once)
+register("chaos-hang-once", hang_once)
+register("chaos-always-crash", always_crash)
+register("chaos-fail", fail)
+register("chaos-echo", echo)
+register("chaos-sleep", sleep)

@@ -1,0 +1,331 @@
+"""The campaign service: jobs in, durable deduped results out.
+
+:class:`CampaignService` ties the tier together: admission control
+(:mod:`repro.serve.admission`) decides whether a campaign gets in, the
+durable store (:mod:`repro.serve.store`) decides how little of it needs
+to run, and the supervised pool (:mod:`repro.serve.supervisor`) runs
+the remainder and survives the workers.  The service itself is a plain
+synchronous state machine pumped by :meth:`CampaignService.pump`; the
+``async`` surface (:meth:`wait`, :meth:`drive`) is a thin timing
+wrapper, so the same service instance backs the in-process client, the
+HTTP frontend, and the tests' hand-cranked pumps.
+
+Execution sharing: every task is keyed by its content fingerprint.  A
+fingerprint already in the store resolves instantly; one already in
+flight attaches the new (job, slot) as a waiter on the single
+execution; only genuinely new work reaches the pool.  Fresh results are
+committed to the store *before* any job observes them, and jobs consume
+the canonical (JSON round-tripped) form — so a result is bit-identical
+whether it was computed by this process, a previous (killed) service
+run, or another job's identical task.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from repro.errors import CampaignError
+from repro.obs.campaign import CampaignProfile
+from repro.parallel import WorkerTraceback
+from repro.serve import tasks as task_registry
+from repro.serve.admission import AdmissionController
+from repro.serve.store import ResultStore, canonical_json, task_fingerprint
+from repro.serve.supervisor import SupervisedTask, Supervisor, TaskOutcome
+
+_PENDING = object()
+
+
+class Job:
+    """One admitted campaign: an ordered list of same-kind tasks."""
+
+    QUEUED = "queued"
+    ACTIVE = "active"
+    DONE = "done"
+    FAILED = "failed"
+
+    def __init__(self, job_id: str, kind: str, payloads: list,
+                 client: str, priority: int) -> None:
+        self.job_id = job_id
+        self.kind = kind
+        self.payloads = payloads
+        self.client = client
+        self.priority = priority
+        self.fingerprints = [
+            task_fingerprint(kind, payload) for payload in payloads
+        ]
+        self.state = Job.QUEUED
+        self.results: list = [_PENDING] * len(payloads)
+        #: Slot -> (name, message, traceback, report) for failed tasks.
+        self.errors: dict[int, tuple] = {}
+        #: Forensic reports for quarantined slots.
+        self.quarantined: dict[int, dict] = {}
+        self.from_store = 0
+        self.executed = 0
+        self.shared = 0       # slots resolved by another task's execution
+        self.submitted = time.time()
+        self.profile = CampaignProfile(label=job_id)
+
+    @property
+    def total(self) -> int:
+        return len(self.payloads)
+
+    @property
+    def resolved(self) -> int:
+        return sum(1 for value in self.results if value is not _PENDING)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (Job.DONE, Job.FAILED)
+
+    def status(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "client": self.client,
+            "priority": self.priority,
+            "state": self.state,
+            "total": self.total,
+            "resolved": self.resolved,
+            "from_store": self.from_store,
+            "executed": self.executed,
+            "shared": self.shared,
+            "failed": len(self.errors) - len(self.quarantined),
+            "quarantined": len(self.quarantined),
+            "profile": self.profile.report(),
+        }
+
+
+class CampaignService:
+    """Supervised, admission-controlled, durable campaign execution."""
+
+    def __init__(
+        self,
+        store: ResultStore | str | None = None,
+        workers: int = 2,
+        *,
+        admission: AdmissionController | None = None,
+        telemetry=None,
+        poll_interval: float = 0.005,
+        **supervisor_kwargs,
+    ) -> None:
+        self.store = (
+            store if isinstance(store, ResultStore) else ResultStore(store)
+        )
+        self.telemetry = telemetry
+        self.admission = admission or AdmissionController()
+        self.supervisor = Supervisor(
+            workers=workers, telemetry=telemetry, **supervisor_kwargs
+        )
+        self.poll_interval = poll_interval
+        self.jobs: dict[str, Job] = {}
+        self._job_seq = 0
+        #: fingerprint -> waiters [(job, slot), ...] for in-flight tasks.
+        self._inflight: dict[str, list[tuple[Job, int]]] = {}
+        self._closed = False
+
+    # -- events ----------------------------------------------------------
+
+    def _emit(self, kind: str, **data) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit(kind, "serve.service", **data)
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, kind: str, payloads: list, *, client: str = "local",
+               priority: int = 0) -> Job:
+        """Admit one campaign or raise
+        :class:`~repro.serve.admission.AdmissionError`."""
+        task_registry.get_kind(kind)   # fail fast on unknown kinds
+        self._job_seq += 1
+        job = Job(
+            f"job-{self._job_seq:04d}", kind, list(payloads),
+            client=client, priority=priority,
+        )
+        self.admission.admit(
+            job, client=client, priority=priority, tasks=job.total
+        )
+        self.jobs[job.job_id] = job
+        self._emit("job_admitted", job=job.job_id, task_kind=kind,
+                   tasks=job.total, client=client, priority=priority)
+        return job
+
+    # -- the pump --------------------------------------------------------
+
+    def pump(self) -> None:
+        """One scheduling pass: activate, poll the pool, land results."""
+        while True:
+            job = self.admission.next_job()
+            if job is None:
+                break
+            self._activate(job)
+        for outcome in self.supervisor.poll():
+            self._land(outcome)
+
+    def _activate(self, job: Job) -> None:
+        job.state = Job.ACTIVE
+        job.profile.begin(
+            total=job.total, workers=self.supervisor.worker_count
+        )
+        for slot, fingerprint in enumerate(job.fingerprints):
+            stored = self.store.get(fingerprint, default=_PENDING)
+            if stored is not _PENDING:
+                job.from_store += 1
+                job.profile.checkpoint_hit()
+                self._resolve(job, slot, stored)
+                continue
+            waiters = self._inflight.get(fingerprint)
+            if waiters is not None:
+                waiters.append((job, slot))
+                continue
+            self._inflight[fingerprint] = [(job, slot)]
+            self.supervisor.submit(SupervisedTask(
+                task_id=f"{job.job_id}/{slot}",
+                kind=job.kind,
+                payload=job.payloads[slot],
+                fingerprint=fingerprint,
+            ))
+        self._finish_if_done(job)
+
+    def _land(self, outcome: TaskOutcome) -> None:
+        task = outcome.task
+        waiters = self._inflight.pop(task.fingerprint, [])
+        if outcome.status == TaskOutcome.DONE:
+            self.store.put(
+                task.fingerprint, task.kind, task.payload,
+                outcome.result, outcome.seconds,
+            )
+            # Canonical form: identical whether computed now or replayed.
+            result = json.loads(canonical_json(outcome.result))
+            for index, (job, slot) in enumerate(waiters):
+                if index == 0:
+                    job.executed += 1
+                    job.profile.task_done(slot, task.fingerprint,
+                                          outcome.seconds)
+                else:
+                    job.shared += 1
+                self._resolve(job, slot, result)
+        else:
+            for job, slot in waiters:
+                if outcome.status == TaskOutcome.QUARANTINED:
+                    job.quarantined[slot] = outcome.forensic
+                job.errors[slot] = outcome.error
+                self._resolve(job, slot, None)
+        for job, _slot in waiters:
+            self._finish_if_done(job)
+
+    def _resolve(self, job: Job, slot: int, value) -> None:
+        if job.results[slot] is not _PENDING:
+            return
+        job.results[slot] = value
+        self.admission.task_finished()
+
+    def _finish_if_done(self, job: Job) -> None:
+        if job.finished or job.resolved < job.total:
+            return
+        job.state = Job.FAILED if (job.errors or job.quarantined) else Job.DONE
+        job.profile.finish()
+        self._emit(
+            "job_done", job=job.job_id, state=job.state,
+            executed=job.executed, from_store=job.from_store,
+            shared=job.shared, failed=len(job.errors),
+            quarantined=len(job.quarantined),
+        )
+
+    @property
+    def idle(self) -> bool:
+        return (
+            self.admission.queued_jobs == 0
+            and not self.supervisor.has_work
+        )
+
+    # -- results ---------------------------------------------------------
+
+    def results(self, job: Job | str):
+        """Decoded results in submission order; raises on a failed job."""
+        if isinstance(job, str):
+            job = self.jobs[job]
+        if not job.finished:
+            raise CampaignError(f"job {job.job_id} is not finished "
+                                f"({job.resolved}/{job.total} resolved)")
+        if job.state == Job.FAILED:
+            slot = min([*job.errors, *job.quarantined])
+            error = job.errors.get(slot)
+            name, message, tb = (error or ("quarantined", "", ""))[:3]
+            exc = CampaignError(
+                f"job {job.job_id}: "
+                f"{len(job.errors) - len(job.quarantined)} task(s) failed, "
+                f"{len(job.quarantined)} quarantined "
+                f"(first: slot {slot}: {name}: {message})",
+                worker_traceback=tb or None,
+            )
+            exc.quarantine_reports = list(job.quarantined.values())
+            if tb:
+                raise exc from WorkerTraceback(tb)
+            raise exc
+        return [
+            task_registry.decode_result(job.kind, value)
+            for value in job.results
+        ]
+
+    # -- async surface ---------------------------------------------------
+
+    async def wait(self, job: Job | str, timeout: float | None = None):
+        """Drive the service until ``job`` finishes; return its results."""
+        if isinstance(job, str):
+            job = self.jobs[job]
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not job.finished:
+            if deadline is not None and time.monotonic() > deadline:
+                raise CampaignError(
+                    f"timed out waiting for job {job.job_id} "
+                    f"({job.resolved}/{job.total} resolved)"
+                )
+            self.pump()
+            if job.finished:
+                break
+            await asyncio.sleep(self.poll_interval)
+        return self.results(job)
+
+    async def drive(self) -> None:
+        """Run the pump forever (the HTTP frontend's background task)."""
+        while not self._closed:
+            self.pump()
+            await asyncio.sleep(self.poll_interval)
+
+    def run_job(self, kind: str, payloads: list, *, client: str = "local",
+                priority: int = 0, timeout: float | None = None):
+        """Synchronous submit-and-wait (the in-process client's core)."""
+        job = self.submit(kind, payloads, client=client, priority=priority)
+        return asyncio.run(self.wait(job, timeout=timeout))
+
+    # -- introspection / lifecycle ---------------------------------------
+
+    def job_status(self, job_id: str) -> dict:
+        return self.jobs[job_id].status()
+
+    def stats(self) -> dict:
+        states: dict[str, int] = {}
+        for job in self.jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "jobs": states,
+            "admission": self.admission.stats(),
+            "supervisor": dict(self.supervisor.metrics),
+            "store": self.store.stats(),
+            "serial": self.supervisor.serial,
+            "pending_tasks": len(self.supervisor.pending),
+            "in_flight": self.supervisor.in_flight,
+        }
+
+    def close(self) -> None:
+        self._closed = True
+        self.supervisor.close()
+        self.store.close()
+
+    def __enter__(self) -> "CampaignService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,452 @@
+"""Supervised worker pool: health checks, kill/respawn, retry, quarantine.
+
+:func:`repro.parallel.resilient_map` hardens one *batch*; a service
+needs a pool that outlives any batch and any individual worker.  The
+:class:`Supervisor` owns N forked worker processes, each with a private
+inbox/outbox pair (``multiprocessing.SimpleQueue``), and is pumped by a
+non-blocking :meth:`Supervisor.poll` from the service's asyncio loop —
+every poll drains results, reaps crashed workers, kills workers whose
+in-flight task blew its deadline, respawns capacity, promotes
+backed-off retries, and dispatches ready tasks to idle workers.
+
+Failure taxonomy (the part tests pin down):
+
+* **task exception** — deterministic campaign input; the task fails
+  *immediately* with the worker's traceback (same no-retry policy as
+  ``resilient_map``), and the worker stays healthy;
+* **worker crash** — the process died (``os._exit``, segfault, OOM
+  kill) with a task in flight; the task retries on a fresh worker after
+  a capped, deterministically jittered exponential backoff
+  (:func:`repro.parallel.retry_delay`);
+* **hung worker** — the in-flight task exceeded ``task_timeout``; the
+  worker is SIGKILLed and respawned, and the task retries like a crash;
+* **poison task** — a task that crashed/hung workers
+  ``max_task_failures`` times is *quarantined*: it stops consuming pool
+  capacity and surfaces a forensic report (attempt history, plus the
+  structured :class:`~repro.errors.DeadlockError` report when the
+  failure carried one) instead of wedging the campaign;
+* **pool unavailable** — worker processes cannot be spawned at all
+  (restricted sandboxes); the supervisor degrades to in-process serial
+  execution and the campaign still completes.
+
+Per-worker queues (not one shared pair) are deliberate: killing a
+worker can tear a message mid-write, and private queues make the blast
+radius exactly that worker — its queues are discarded with it.
+"""
+
+from __future__ import annotations
+
+import collections
+import heapq
+import multiprocessing
+import time
+import traceback
+
+from repro.parallel import retry_delay
+from repro.serve import tasks as task_registry
+
+#: Worker -> supervisor message tag.
+_DONE = "done"
+
+
+def _worker_main(worker_id: int, inbox, outbox) -> None:
+    """Worker process loop: execute tasks from the inbox until ``None``."""
+    while True:
+        message = inbox.get()
+        if message is None:
+            return
+        task_id, kind, payload = message
+        start = time.perf_counter()
+        try:
+            result = task_registry.execute(kind, payload)
+            outbox.put(
+                (_DONE, task_id, True, result, time.perf_counter() - start)
+            )
+        except Exception as exc:
+            # DeadlockError-style exceptions carry a structured forensic
+            # report; ride it back for the quarantine/failure record.
+            report = getattr(exc, "report", None)
+            outbox.put((
+                _DONE,
+                task_id,
+                False,
+                (
+                    type(exc).__name__,
+                    str(exc),
+                    traceback.format_exc(),
+                    report if isinstance(report, dict) else None,
+                ),
+                time.perf_counter() - start,
+            ))
+
+
+class SupervisedTask:
+    """One unit of work moving through the pool."""
+
+    __slots__ = (
+        "task_id", "kind", "payload", "fingerprint",
+        "attempts", "failures", "submitted_at",
+    )
+
+    def __init__(self, task_id: str, kind: str, payload: dict,
+                 fingerprint: str) -> None:
+        self.task_id = task_id
+        self.kind = kind
+        self.payload = payload
+        self.fingerprint = fingerprint
+        self.attempts = 0
+        #: Attempt-history records for the forensic report.
+        self.failures: list[dict] = []
+        self.submitted_at: float | None = None
+
+
+class TaskOutcome:
+    """Terminal state of one supervised task."""
+
+    __slots__ = ("task", "status", "result", "error", "seconds", "forensic")
+
+    DONE = "done"
+    FAILED = "failed"            # deterministic task exception
+    QUARANTINED = "quarantined"  # poison task: killed/hung too many workers
+
+    def __init__(self, task: SupervisedTask, status: str, result=None,
+                 error: tuple | None = None, seconds: float = 0.0,
+                 forensic: dict | None = None) -> None:
+        self.task = task
+        self.status = status
+        self.result = result
+        self.error = error
+        self.seconds = seconds
+        self.forensic = forensic
+
+
+class _Worker:
+    """One supervised worker process plus its private queue pair."""
+
+    __slots__ = ("worker_id", "process", "inbox", "outbox",
+                 "current", "deadline")
+
+    def __init__(self, worker_id: int, ctx) -> None:
+        self.worker_id = worker_id
+        self.inbox = ctx.SimpleQueue()
+        self.outbox = ctx.SimpleQueue()
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(worker_id, self.inbox, self.outbox),
+            daemon=True,
+            name=f"repro-serve-worker-{worker_id}",
+        )
+        self.current: SupervisedTask | None = None
+        self.deadline: float | None = None
+
+    @property
+    def idle(self) -> bool:
+        return self.current is None
+
+    def close_queues(self) -> None:
+        for queue in (self.inbox, self.outbox):
+            try:
+                queue.close()
+            except OSError:
+                pass
+
+
+class Supervisor:
+    """Health-checked worker pool with retry, quarantine, and fallback."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        task_timeout: float = 60.0,
+        max_task_failures: int = 3,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        seed: int = 0,
+        telemetry=None,
+        clock=time.monotonic,
+        serial: bool = False,
+    ) -> None:
+        self.worker_count = max(1, int(workers))
+        self.task_timeout = task_timeout
+        self.max_task_failures = max_task_failures
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.seed = seed
+        self.telemetry = telemetry
+        self.clock = clock
+        self.serial = serial
+        self.pending: collections.deque[SupervisedTask] = collections.deque()
+        self._delayed: list[tuple[float, int, SupervisedTask]] = []
+        self._delay_seq = 0
+        self._workers: dict[int, _Worker] = {}
+        self._next_worker_id = 0
+        self.metrics = {
+            "worker_spawns": 0,
+            "worker_kills": 0,
+            "worker_crashes": 0,
+            "task_retries": 0,
+            "tasks_done": 0,
+            "tasks_failed": 0,
+            "tasks_quarantined": 0,
+            "serial_fallback": serial,
+        }
+
+    # -- events ----------------------------------------------------------
+
+    def _emit(self, kind: str, **data) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit(kind, "serve.supervisor", **data)
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, task: SupervisedTask) -> None:
+        task.submitted_at = self.clock()
+        self.pending.append(task)
+
+    @property
+    def in_flight(self) -> int:
+        return sum(1 for worker in self._workers.values() if not worker.idle)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.pending or self._delayed or self.in_flight)
+
+    # -- worker lifecycle ------------------------------------------------
+
+    def _spawn_worker(self) -> _Worker | None:
+        ctx = multiprocessing.get_context("fork")
+        worker = _Worker(self._next_worker_id, ctx)
+        self._next_worker_id += 1
+        try:
+            worker.process.start()
+        except Exception as exc:
+            # The pool is unavailable on this host; finish the campaign
+            # anyway, in-process.
+            worker.close_queues()
+            self.serial = True
+            self.metrics["serial_fallback"] = True
+            self._emit("serial_fallback", error=f"{type(exc).__name__}: {exc}")
+            return None
+        self.metrics["worker_spawns"] += 1
+        self._workers[worker.worker_id] = worker
+        self._emit("worker_spawn", worker=worker.worker_id)
+        return worker
+
+    def _ensure_workers(self) -> None:
+        while not self.serial and len(self._workers) < self.worker_count:
+            if self._spawn_worker() is None:
+                return
+
+    def _kill_worker(self, worker: _Worker, reason: str) -> None:
+        self.metrics["worker_kills"] += 1
+        self._emit("worker_kill", worker=worker.worker_id, reason=reason)
+        try:
+            worker.process.kill()
+            worker.process.join(timeout=5.0)
+        except (OSError, ValueError):
+            pass
+        worker.close_queues()
+        self._workers.pop(worker.worker_id, None)
+
+    # -- failure handling ------------------------------------------------
+
+    def _record_failure(self, task: SupervisedTask, failure: str,
+                        detail: str, worker_id: int | None,
+                        report: dict | None = None) -> TaskOutcome | None:
+        """Retry (with backoff) or quarantine a crashed/hung task."""
+        task.failures.append({
+            "attempt": task.attempts,
+            "failure": failure,
+            "detail": detail,
+            "worker": worker_id,
+            "report": report,
+        })
+        if len(task.failures) >= self.max_task_failures:
+            self.metrics["tasks_quarantined"] += 1
+            forensic = {
+                "task_id": task.task_id,
+                "kind": task.kind,
+                "fingerprint": task.fingerprint,
+                "payload": task.payload,
+                "attempts": list(task.failures),
+                "max_task_failures": self.max_task_failures,
+            }
+            self._emit("task_quarantined", task=task.task_id,
+                       task_kind=task.kind, attempts=len(task.failures))
+            return TaskOutcome(
+                task, TaskOutcome.QUARANTINED, forensic=forensic,
+                error=(failure, detail, "", report),
+            )
+        self.metrics["task_retries"] += 1
+        delay = retry_delay(
+            self.backoff_base, len(task.failures), cap=self.backoff_cap,
+            token=task.fingerprint, seed=self.seed,
+        )
+        self._emit("task_retry", task=task.task_id, failure=failure,
+                   attempt=len(task.failures), delay=delay)
+        heapq.heappush(
+            self._delayed, (self.clock() + delay, self._delay_seq, task)
+        )
+        self._delay_seq += 1
+        return None
+
+    # -- the pump --------------------------------------------------------
+
+    def poll(self) -> list[TaskOutcome]:
+        """One non-blocking supervision pass; returns finished outcomes."""
+        if self.serial:
+            return self._poll_serial()
+        outcomes: list[TaskOutcome] = []
+        now = self.clock()
+        self._drain(outcomes)
+        self._reap(outcomes, now)
+        self._check_deadlines(outcomes, now)
+        while self._delayed and self._delayed[0][0] <= now:
+            self.pending.append(heapq.heappop(self._delayed)[2])
+        self._ensure_workers()
+        if self.serial:
+            # Spawn failed mid-poll: let the serial path make progress.
+            outcomes.extend(self._poll_serial())
+            return outcomes
+        self._dispatch(now)
+        return outcomes
+
+    def _poll_serial(self) -> list[TaskOutcome]:
+        """Serial degradation: run one pending task in-process per poll."""
+        now = self.clock()
+        while self._delayed and self._delayed[0][0] <= now:
+            self.pending.append(heapq.heappop(self._delayed)[2])
+        if not self.pending:
+            return []
+        task = self.pending.popleft()
+        task.attempts += 1
+        start = time.perf_counter()
+        try:
+            result = task_registry.execute(task.kind, task.payload)
+        except Exception as exc:
+            report = getattr(exc, "report", None)
+            return [self._task_failed(task, (
+                type(exc).__name__, str(exc), traceback.format_exc(),
+                report if isinstance(report, dict) else None,
+            ), time.perf_counter() - start)]
+        return [self._task_done(task, result, time.perf_counter() - start)]
+
+    def _task_done(self, task: SupervisedTask, result,
+                   seconds: float) -> TaskOutcome:
+        self.metrics["tasks_done"] += 1
+        self._emit("task_done", task=task.task_id, task_kind=task.kind,
+                   seconds=seconds, attempts=task.attempts)
+        return TaskOutcome(task, TaskOutcome.DONE, result=result,
+                           seconds=seconds)
+
+    def _task_failed(self, task: SupervisedTask, error: tuple,
+                     seconds: float) -> TaskOutcome:
+        self.metrics["tasks_failed"] += 1
+        self._emit("task_failed", task=task.task_id, task_kind=task.kind,
+                   error=error[0], attempts=task.attempts)
+        return TaskOutcome(task, TaskOutcome.FAILED, error=error,
+                           seconds=seconds)
+
+    def _drain(self, outcomes: list[TaskOutcome]) -> None:
+        """Collect every completed result currently in worker outboxes."""
+        for worker in list(self._workers.values()):
+            while True:
+                try:
+                    if worker.outbox.empty():
+                        break
+                    message = worker.outbox.get()
+                except (OSError, EOFError, ValueError):
+                    break
+                if not (isinstance(message, tuple) and message[0] == _DONE):
+                    continue
+                __, task_id, ok, payload, seconds = message
+                task = worker.current
+                if task is None or task.task_id != task_id:
+                    continue   # stale result from a superseded dispatch
+                worker.current = None
+                worker.deadline = None
+                if ok:
+                    outcomes.append(self._task_done(task, payload, seconds))
+                else:
+                    outcomes.append(self._task_failed(task, payload, seconds))
+
+    def _reap(self, outcomes: list[TaskOutcome], now: float) -> None:
+        """Respawn-and-retry for workers that died on their own."""
+        for worker in list(self._workers.values()):
+            if worker.process.is_alive():
+                continue
+            exitcode = worker.process.exitcode
+            self.metrics["worker_crashes"] += 1
+            self._emit("worker_crash", worker=worker.worker_id,
+                       exitcode=exitcode)
+            task = worker.current
+            worker.close_queues()
+            self._workers.pop(worker.worker_id, None)
+            if task is not None:
+                task.attempts += 1
+                outcome = self._record_failure(
+                    task, "crashed",
+                    f"worker {worker.worker_id} exited with code {exitcode}",
+                    worker.worker_id,
+                )
+                if outcome is not None:
+                    outcomes.append(outcome)
+
+    def _check_deadlines(self, outcomes: list[TaskOutcome],
+                         now: float) -> None:
+        """Kill workers whose in-flight task exceeded the timeout."""
+        for worker in list(self._workers.values()):
+            if worker.deadline is None or now < worker.deadline:
+                continue
+            task = worker.current
+            self._kill_worker(worker, reason="task-timeout")
+            if task is not None:
+                task.attempts += 1
+                outcome = self._record_failure(
+                    task, "hung",
+                    f"no result within {self.task_timeout}s "
+                    f"(worker {worker.worker_id} killed)",
+                    worker.worker_id,
+                )
+                if outcome is not None:
+                    outcomes.append(outcome)
+
+    def _dispatch(self, now: float) -> None:
+        for worker in self._workers.values():
+            if not worker.idle or not self.pending:
+                continue
+            task = self.pending.popleft()
+            task.attempts += 1
+            worker.current = task
+            worker.deadline = (
+                None if self.task_timeout is None
+                else now + self.task_timeout
+            )
+            self._emit("task_dispatch", task=task.task_id, task_kind=task.kind,
+                       worker=worker.worker_id, attempt=task.attempts)
+            try:
+                worker.inbox.put((task.task_id, task.kind, task.payload))
+            except (OSError, ValueError):
+                # Worker died between reap and dispatch; next poll reaps.
+                worker.current = None
+                worker.deadline = None
+                self.pending.appendleft(task)
+                task.attempts -= 1
+
+    # -- shutdown --------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker (politely, then by force)."""
+        for worker in list(self._workers.values()):
+            try:
+                worker.inbox.put(None)
+            except (OSError, ValueError):
+                pass
+        for worker in list(self._workers.values()):
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():
+                self._kill_worker(worker, reason="shutdown")
+            else:
+                worker.close_queues()
+                self._workers.pop(worker.worker_id, None)

@@ -1,0 +1,216 @@
+"""Task registry: the named, JSON-pure work units the service executes.
+
+A campaign submitted to :class:`repro.serve.service.CampaignService` is
+a list of ``(kind, payload)`` pairs where ``payload`` is plain JSON.
+This module maps each ``kind`` to:
+
+* ``run`` — a pure function ``payload -> JSON result`` executed inside
+  a worker process (or in-process under serial degradation).  Purity is
+  the contract that makes dedup sound: two tasks with equal
+  fingerprints must produce equal results, so serving the second from
+  the store is undetectable;
+* ``decode`` — an optional adapter from the stored JSON back to the
+  Python type the original serial API returned (tuples, dataclasses),
+  so existing callers get bit-identical values whether a result was
+  computed serially, by a worker, or replayed from the durable store.
+
+Worker processes are forked from the service, so kinds registered
+before the pool spawns — including test-only chaos kinds — are visible
+in every worker without import gymnastics.
+
+Registered campaign kinds mirror the four in-tree campaign clients:
+
+========================  ==================================================
+``cpi-config``            one microarchitecture's full Table 3 CPI campaign
+                          (:mod:`repro.dse.cpi`)
+``dse-close``             one config's (VT, VDD, f) synthesis closure
+                          (:mod:`repro.dse.sweep`)
+``fault-trial``           one fault-injection trial
+                          (:mod:`repro.resilience.campaign`)
+``fuzz-case``             one differential-fuzzing seed
+                          (:mod:`repro.verify.runner`)
+``workload-run``          one (workload, config) simulation — the cheap
+                          unit the smoke/chaos gates campaign over
+========================  ==================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+from repro.errors import ConfigError
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskKind:
+    """One registered task kind."""
+
+    name: str
+    run: Callable[[dict], object]
+    decode: Callable[[object], object] | None = None
+
+
+_REGISTRY: dict[str, TaskKind] = {}
+
+
+def register(name: str, run: Callable[[dict], object],
+             decode: Callable[[object], object] | None = None) -> TaskKind:
+    """Register (or replace) a task kind."""
+    kind = TaskKind(name=name, run=run, decode=decode)
+    _REGISTRY[name] = kind
+    return kind
+
+
+def get_kind(name: str) -> TaskKind:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown task kind {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_kinds() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def execute(name: str, payload: dict):
+    """Run one task in the current process; returns the JSON result."""
+    return get_kind(name).run(payload)
+
+
+def decode_result(name: str, result):
+    """Adapt a stored JSON result back to the serial API's return type."""
+    kind = get_kind(name)
+    return result if kind.decode is None else kind.decode(result)
+
+
+# ----------------------------------------------------------------------
+# Campaign kinds.  Imports are deferred into the run functions so that
+# importing repro.serve stays cheap and dependency-light; each function
+# reconstructs its domain objects from the JSON payload.
+# ----------------------------------------------------------------------
+
+
+def _params_from(payload: dict):
+    from repro.params import DEFAULT_PARAMS, ArchParams
+
+    params = payload.get("params")
+    return DEFAULT_PARAMS if params is None else ArchParams(**params)
+
+
+def _run_cpi_config(payload: dict):
+    from repro.dse.cpi import _campaign
+    from repro.pipeline.config import config_by_name
+
+    config = config_by_name(payload["config"])
+    cpi, stack = _campaign(
+        config, payload["scale"], payload["seed"], _params_from(payload)
+    )
+    return [config.name, cpi, stack]
+
+
+def _run_dse_close(payload: dict):
+    from repro.dse.sweep import _close_config
+    from repro.pipeline.config import config_by_name
+    from repro.vlsi.technology import Technology
+
+    points = _close_config((
+        config_by_name(payload["config"]),
+        payload["cpi"],
+        Technology(name=payload.get("tech", "tsmc65gp-model")),
+        payload.get("include_fmax", True),
+    ))
+    return [
+        {
+            "synthesis": {
+                **dataclasses.asdict(point.synthesis),
+                "vt": point.synthesis.vt.value,
+            },
+            "cpi": point.cpi,
+        }
+        for point in points
+    ]
+
+
+def _decode_dse_close(result):
+    from repro.dse.design_point import DesignPoint
+    from repro.vlsi.synthesis import SynthesisResult
+    from repro.vlsi.technology import VtFlavor
+
+    return [
+        DesignPoint(
+            synthesis=SynthesisResult(
+                **{**entry["synthesis"], "vt": VtFlavor(entry["synthesis"]["vt"])}
+            ),
+            cpi=entry["cpi"],
+        )
+        for entry in result
+    ]
+
+
+def _run_fault_trial(payload: dict):
+    from repro.resilience.campaign import FaultTrial, run_trial
+
+    return dataclasses.asdict(run_trial(FaultTrial(**payload)))
+
+
+def _decode_fault_trial(result):
+    from repro.resilience.campaign import TrialResult
+
+    return TrialResult(**result)
+
+
+def _run_fuzz_case(payload: dict):
+    from repro.verify.runner import _check_seed
+
+    return _check_seed((
+        payload["seed"],
+        payload.get("ref_configs", 4),
+        payload.get("jit", False),
+    ))
+
+
+def _run_workload(payload: dict):
+    """One (workload, config) simulation: the smoke/chaos campaign unit.
+
+    Returns the run's cycle count, worker CPI, and the worker counter
+    block — a pure function of the payload, cheap at small scales, and
+    rich enough that a single flipped bit anywhere in the simulation
+    changes the result (what the chaos gate's byte-identity check
+    needs).
+    """
+    from repro.pipeline.config import config_by_name
+    from repro.pipeline.core import PipelinedPE
+    from repro.workloads.suite import run_workload
+
+    params = _params_from(payload)
+    config = config_by_name(payload["config"])
+
+    def factory(name: str) -> PipelinedPE:
+        return PipelinedPE(config, params, name=name)
+
+    run = run_workload(
+        payload["workload"],
+        make_pe=factory,
+        scale=payload["scale"],
+        seed=payload.get("seed", 0),
+        params=params,
+    )
+    counters = run.worker_counters
+    counters.check_consistency()
+    return {
+        "workload": payload["workload"],
+        "config": config.name,
+        "cycles": run.cycles,
+        "cpi": counters.cpi,
+        "counters": counters.as_dict(),
+    }
+
+
+register("cpi-config", _run_cpi_config, decode=tuple)
+register("dse-close", _run_dse_close, decode=_decode_dse_close)
+register("fault-trial", _run_fault_trial, decode=_decode_fault_trial)
+register("fuzz-case", _run_fuzz_case)
+register("workload-run", _run_workload)

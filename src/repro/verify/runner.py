@@ -23,8 +23,19 @@ def _check_seed(task: tuple[int, int, bool]) -> dict:
 
 def fuzz_run(count: int, seed: int = 0, workers: int | None = None,
              ref_configs: int = 4, timeout: float | None = 120.0,
-             jit: bool = False) -> list[dict]:
-    """Check ``count`` generated cases; returns per-case result dicts."""
+             jit: bool = False, service=None) -> list[dict]:
+    """Check ``count`` generated cases; returns per-case result dicts.
+
+    With ``service`` (a :mod:`repro.serve` client) the batch runs as
+    ``fuzz-case`` tasks on the supervised campaign service: identical
+    per-case dicts, deduped against the durable store, so re-fuzzing an
+    overlapping seed range only executes the new seeds.
+    """
+    if service is not None:
+        return service.map("fuzz-case", [
+            {"seed": seed + index, "ref_configs": ref_configs, "jit": jit}
+            for index in range(count)
+        ])
     tasks = [(seed + index, ref_configs, jit) for index in range(count)]
     return resilient_map(_check_seed, tasks, workers, timeout=timeout)
 

@@ -87,3 +87,113 @@ class TestCpiTableParallelism:
         first.populate(self.CONFIGS[:1])
         assert CpiTable(scale=self.SCALE, cache_path=path)._cpi == first._cpi
         assert CpiTable(scale=self.SCALE + 1, cache_path=path)._cpi == {}
+
+
+class TestRetryDelay:
+    def test_deterministic_for_same_inputs(self):
+        from repro.parallel import retry_delay
+
+        a = retry_delay(0.25, 2, cap=5.0, token="pool", seed=0)
+        b = retry_delay(0.25, 2, cap=5.0, token="pool", seed=0)
+        assert a == b
+
+    def test_jitter_decorrelates_tokens_and_attempts(self):
+        from repro.parallel import retry_delay
+
+        base = retry_delay(0.25, 1, token="a")
+        assert retry_delay(0.25, 1, token="b") != base
+        assert retry_delay(0.25, 1, token="a", seed=1) != base
+        assert retry_delay(0.25, 2, token="a") != base
+
+    def test_exponential_growth_within_jitter_bounds(self):
+        from repro.parallel import retry_delay
+
+        for attempt in range(1, 6):
+            delay = retry_delay(0.1, attempt, token="t")
+            exponential = 0.1 * 2 ** (attempt - 1)
+            assert exponential <= delay <= exponential * 1.25
+
+    def test_cap_bounds_the_delay(self):
+        from repro.parallel import retry_delay
+
+        assert retry_delay(1.0, 10, cap=2.0, token="t") == 2.0
+
+
+class TestCheckpointCrashSafety:
+    def _checkpoint(self, path, **kwargs):
+        from repro.parallel import Checkpoint
+
+        return Checkpoint(str(path), fingerprint="fp", **kwargs)
+
+    def test_roundtrip_survives_reload(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        first = self._checkpoint(path)
+        first.put("a", [1, 2])
+        first.put("b", [3])
+        resumed = self._checkpoint(path)
+        assert len(resumed) == 2
+        assert resumed.get("a") == [1, 2]
+
+    def test_truncated_checkpoint_tolerated_as_empty(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        ckpt = self._checkpoint(path)
+        ckpt.put("a", [1])
+        raw = path.read_text()
+        path.write_text(raw[: len(raw) // 2])   # torn mid-write
+        assert len(self._checkpoint(path)) == 0
+
+    def test_garbage_checkpoint_tolerated_as_empty(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("\x00\xff not json")
+        assert len(self._checkpoint(path)) == 0
+
+    def test_non_dict_json_tolerated_as_empty(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("[1, 2, 3]")
+        assert len(self._checkpoint(path)) == 0
+        path.write_text('{"fingerprint": "fp", "results": [1, 2]}')
+        assert len(self._checkpoint(path)) == 0
+
+    def test_fingerprint_mismatch_discards_results(self, tmp_path):
+        from repro.parallel import Checkpoint
+
+        path = tmp_path / "ckpt.json"
+        self._checkpoint(path).put("a", [1])
+        assert len(Checkpoint(str(path), fingerprint="other")) == 0
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        ckpt = self._checkpoint(path)
+        for index in range(5):
+            ckpt.put(f"k{index}", index)
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+        assert path.exists()
+
+
+def _fails(item):   # module level: must pickle for the pool path
+    raise ValueError(f"bad item {item}")
+
+
+class TestWorkerTracebackChain:
+    def test_serial_failure_chains_worker_traceback(self):
+        from repro.errors import CampaignError
+        from repro.parallel import WorkerTraceback, resilient_map
+
+        with pytest.raises(CampaignError) as err:
+            resilient_map(_fails, [7], workers=1)
+        assert "ValueError" in str(err.value)
+        assert "bad item 7" in str(err.value)
+        cause = err.value.__cause__
+        assert isinstance(cause, WorkerTraceback)
+        assert "ValueError: bad item 7" in cause.tb
+
+    def test_pool_failure_chains_worker_traceback(self, clean_env):
+        from repro.errors import CampaignError
+        from repro.parallel import WorkerTraceback, resilient_map
+
+        with pytest.raises(CampaignError) as err:
+            resilient_map(_fails, [1, 2, 3], workers=2)
+        assert isinstance(err.value.__cause__, WorkerTraceback)
+        assert err.value.worker_traceback
+        assert "ValueError" in err.value.worker_traceback
