@@ -91,3 +91,61 @@ def test_disabled_seam_cost_is_noise():
     second = _loop_throughput(cycles, None)
     ratio = max(first, second) / min(first, second)
     assert ratio < 1.5, f"uninstrumented throughput unstable ({ratio:.2f}x)"
+
+
+# ----------------------------------------------------------------------
+# Service-tier seam (repro.obs.svc): disabled == free there too
+# ----------------------------------------------------------------------
+
+_SERVICE_PAYLOADS = [
+    {"workload": "gcd", "config": name, "scale": 4, "seed": 0}
+    for name in ("TDX", "TDX +Q", "T|DX +P", "T|D|X1|X2 +P+Q")
+]
+
+
+def _service_campaign(obs):
+    """One small serial campaign; returns its canonical result text."""
+    from repro.serve import CampaignService
+    from repro.serve.store import canonical_json
+
+    with CampaignService(None, workers=1, serial=True, obs=obs) as service:
+        results = service.run_job(
+            "workload-run", _SERVICE_PAYLOADS, timeout=300.0
+        )
+    return canonical_json(results)
+
+
+def test_disabled_service_obs_is_bit_identical():
+    """The serve-tier guarantee: attaching ServiceObs (spans, metrics,
+    sim stage tracing) never changes campaign results, so the
+    ``obs=None`` path cannot either."""
+    from repro.obs import ServiceObs
+
+    bare = _service_campaign(None)
+    traced = _service_campaign(ServiceObs(sim_trace=True))
+    assert bare == traced
+
+
+def test_service_obs_overhead_bounded(benchmark):
+    """Spans + histograms + sim stage capture cost a bounded factor."""
+    from repro.obs import ServiceObs
+
+    def best_of(factory, rounds=3):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            _service_campaign(factory())
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    off = best_of(lambda: None)
+    on = benchmark.pedantic(
+        lambda: best_of(lambda: ServiceObs(sim_trace=True)),
+        rounds=1, iterations=1,
+    )
+    overhead = on / off
+    print(f"\nservice obs off: {off:8.3f}s")
+    print(f"service obs on : {on:8.3f}s ({overhead:.2f}x overhead)")
+    assert overhead < 6.0, (
+        f"service obs overhead {overhead:.2f}x exceeds the 6x guard"
+    )

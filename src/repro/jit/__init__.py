@@ -21,10 +21,12 @@ back to the interpreter, cycle for cycle.
 from repro.jit.batch import JitBatch
 from repro.jit.cache import (
     JitProgram,
+    block_exit_counts,
     cache_stats,
     clear_cache,
     fingerprint,
     get_compiled,
+    jit_metrics,
 )
 from repro.jit.codegen import CODEGEN_VERSION, generate_source
 
@@ -32,9 +34,11 @@ __all__ = [
     "CODEGEN_VERSION",
     "JitBatch",
     "JitProgram",
+    "block_exit_counts",
     "cache_stats",
     "clear_cache",
     "fingerprint",
     "generate_source",
     "get_compiled",
+    "jit_metrics",
 ]

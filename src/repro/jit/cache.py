@@ -62,6 +62,58 @@ class CacheStats:
 _CACHE: dict[str, JitProgram] = {}
 STATS = CacheStats()
 
+#: Why generated block runs returned control: reason -> count.  Filled
+#: by the :func:`_counted_run` wrapper around every compiled ``run``;
+#: surfaced via :func:`block_exit_counts`, the
+#: :class:`~repro.obs.metrics.MetricsRegistry` snapshot, and the serve
+#: tier's ``GET /metrics``.
+BLOCK_EXITS: dict[str, int] = {}
+
+
+def _counted_run(raw_run: Callable[..., int]) -> Callable[..., int]:
+    """Wrap a generated block entry point with exit-reason accounting.
+
+    The generated ``run`` has no hook to report *why* it stopped, and
+    regenerating it would bump ``CODEGEN_VERSION`` for pure accounting —
+    so the reason is inferred from post-call PE state instead, one dict
+    update per block entry (amortized over the cycles the block ran).
+    The wrapper keeps the exact positional signature the fused system
+    loop uses and stays a plain function so ``__get__`` binding in
+    ``PipelinedPE`` works unchanged.
+    """
+
+    def run(pe, budget, stop_on_enqueue=False, idle_streak=0,
+            stall_limit=0, stop_on_dequeue=False):
+        before = pe.counters.cycles
+        try:
+            streak = raw_run(pe, budget, stop_on_enqueue, idle_streak,
+                             stall_limit, stop_on_dequeue)
+        except Exception:
+            BLOCK_EXITS["error"] = BLOCK_EXITS.get("error", 0) + 1
+            raise
+        ran = pe.counters.cycles - before
+        if ran == 0:
+            # The block refused to start (staged entries, attached hook).
+            reason = "refused"
+        elif pe.halted:
+            reason = "halt"
+        elif stall_limit and streak >= stall_limit:
+            reason = "stall"
+        elif ran >= budget:
+            reason = "budget"
+        elif stop_on_dequeue:
+            # Dequeue wins ties with enqueue: the fused loop passes both
+            # and the version-sum check fires first in generated code.
+            reason = "dequeue"
+        elif stop_on_enqueue:
+            reason = "enqueue"
+        else:
+            reason = "other"
+        BLOCK_EXITS[reason] = BLOCK_EXITS.get(reason, 0) + 1
+        return streak
+
+    return run
+
 
 def fingerprint(
     instructions: list[Instruction],
@@ -148,7 +200,7 @@ def get_compiled(
     STATS.compile_seconds += time.perf_counter() - started
     program = JitProgram(
         key=key, source=source,
-        step=namespace["step"], run=namespace["run"],
+        step=namespace["step"], run=_counted_run(namespace["run"]),
     )
     _CACHE[key] = program
     return program
@@ -160,7 +212,18 @@ def clear_cache() -> None:
     STATS.hits = 0
     STATS.misses = 0
     STATS.compile_seconds = 0.0
+    BLOCK_EXITS.clear()
 
 
 def cache_stats() -> dict[str, Any]:
     return {**STATS.as_dict(), "entries": len(_CACHE)}
+
+
+def block_exit_counts() -> dict[str, int]:
+    """Block-run exit reasons recorded since the last cache clear."""
+    return dict(sorted(BLOCK_EXITS.items()))
+
+
+def jit_metrics() -> dict[str, Any]:
+    """One JSON-ready dict: cache stats plus block-exit reasons."""
+    return {**cache_stats(), "block_exits": block_exit_counts()}

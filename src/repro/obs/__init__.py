@@ -14,13 +14,33 @@ to uninstrumented ones.
     export_chrome_trace(run.telemetry, "trace.json", run.system)
 
 ``python -m repro.obs`` wraps the same flow as a CLI.
+
+The same seam discipline extends to the campaign service: attach a
+:class:`ServiceObs` to a :class:`repro.serve.service.CampaignService`
+and every job/task/worker lifecycle step is spanned, metered, and
+JSON-logged; :func:`export_campaign_trace` renders the whole campaign
+— service spans above, per-task simulator stage tracks below — as one
+Perfetto timeline.  ``python -m repro.obs --smoke-service`` gates it.
 """
 
 from repro.obs.campaign import CampaignProfile, format_campaign_report
 from repro.obs.events import Telemetry, TelemetryEvent
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.runner import InstrumentedRun, run_instrumented
-from repro.obs.trace_export import chrome_trace, export_chrome_trace
+from repro.obs.svc import (
+    JobEventStream,
+    JsonLogger,
+    ServiceMetrics,
+    ServiceObs,
+    ServiceTracer,
+    Span,
+)
+from repro.obs.trace_export import (
+    campaign_trace,
+    chrome_trace,
+    export_campaign_trace,
+    export_chrome_trace,
+)
 
 __all__ = [
     "CampaignProfile",
@@ -32,4 +52,12 @@ __all__ = [
     "run_instrumented",
     "chrome_trace",
     "export_chrome_trace",
+    "campaign_trace",
+    "export_campaign_trace",
+    "ServiceObs",
+    "ServiceTracer",
+    "ServiceMetrics",
+    "JsonLogger",
+    "JobEventStream",
+    "Span",
 ]

@@ -15,6 +15,15 @@ event/counter identities, validates the trace export as round-trip
 JSON, and verifies that a telemetry-enabled run leaves simulation
 results bit-identical to an uninstrumented one.  Exit status is
 non-zero on any failure.
+
+``python -m repro.obs --smoke-service`` is the service-observability
+gate: it runs a full 48-config campaign through a ServiceObs-attached
+:class:`repro.serve.service.CampaignService` (forked workers, sim
+tracing on), verifies the results are byte-identical to an
+uninstrumented service, audits the span tree, exports the unified
+campaign Perfetto timeline (service spans + simulator stage tracks in
+one file), validates the ``/metrics`` Prometheus exposition, and
+exercises SSE + ``/metrics`` over the real stdlib HTTP frontend.
 """
 
 from __future__ import annotations
@@ -177,6 +186,179 @@ def _smoke(args) -> int:
     return 0
 
 
+def _smoke_service(args) -> int:
+    """The service-observability CI gate (spans, /metrics, SSE, export)."""
+    import io
+    import re
+    import threading
+
+    from repro.obs.svc import JsonLogger, ServiceObs
+    from repro.obs.trace_export import export_campaign_trace
+    from repro.serve import CampaignService, HttpClient
+    from repro.serve.http import start_http_server
+    from repro.serve.store import canonical_json
+
+    scale = args.scale or int(os.environ.get("REPRO_BENCH_SCALE", "6"))
+    # The full 48-config design matrix (32 + the padded-queue variants).
+    configs = [config.name for config in all_configs(include_padded=True)]
+    payloads = [
+        {"workload": "gcd", "config": name, "scale": scale, "seed": args.seed}
+        for name in configs
+    ]
+    print(
+        f"service observability gate: {len(payloads)} configs x gcd "
+        f"@ scale {scale}, seed {args.seed}"
+    )
+
+    # 1. Bare (uninstrumented) campaign: the byte-identity reference.
+    print("\n[reference] uninstrumented service campaign...")
+    with CampaignService(None, workers=2) as service:
+        bare = service.run_job("workload-run", payloads, timeout=600.0)
+    print(f"  {len(bare)} results")
+
+    # 2. Traced campaign: spans + metrics + logs + sim stage tracks.
+    print("[traced] ServiceObs(sim_trace=True) campaign, forked workers...")
+    log_sink = io.StringIO()
+    obs = ServiceObs(sim_trace=True, logger=JsonLogger(log_sink))
+    with CampaignService(None, workers=2, obs=obs) as service:
+        traced = service.run_job("workload-run", payloads, timeout=600.0)
+        metrics_text = service.metrics_text()
+        stats = service.stats()
+
+    if canonical_json(traced) != canonical_json(bare):
+        return _fail("traced campaign results diverge from uninstrumented")
+    print(f"  byte-identical to the reference ({len(traced)} results)")
+
+    # 3. Span-tree audit: lifecycle coverage and structural nesting.
+    summary = obs.tracer.summary()
+    required = ("job", "admission", "task", "queue_wait", "execute",
+                "store_commit")
+    missing = [name for name in required if not summary.get(name)]
+    if missing:
+        return _fail(f"span tree missing {missing}; saw {summary}")
+    problems = obs.tracer.check_nesting()
+    if problems:
+        head = "; ".join(problems[:5])
+        return _fail(f"{len(problems)} span-nesting problems: {head}")
+    worker_tracks = {
+        span.track for span in obs.tracer.spans if span.name == "execute"
+    }
+    if not worker_tracks:
+        return _fail("no execute spans on worker tracks")
+    if not obs.sim_traces:
+        return _fail("no simulator stage traces shipped back from workers")
+    log_lines = log_sink.getvalue().splitlines()
+    for line in log_lines:
+        json.loads(line)   # every log record is valid JSON
+    print(
+        f"  spans ok: {sum(summary.values())} spans "
+        f"({', '.join(f'{k}={v}' for k, v in sorted(summary.items()))}), "
+        f"nesting clean, {len(worker_tracks)} worker tracks, "
+        f"{len(obs.sim_traces)} sim traces, {len(log_lines)} log records"
+    )
+
+    # 4. Unified Perfetto export: service spans above sim stage tracks.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "campaign.json")
+        export_campaign_trace(obs, path)
+        with open(path, encoding="utf-8") as handle:
+            trace = json.load(handle)
+    service_events = [
+        e for e in trace["traceEvents"]
+        if e["ph"] == "X" and e["cat"] in ("service", "store")
+    ]
+    pipeline_events = [
+        e for e in trace["traceEvents"]
+        if e["ph"] == "X" and e["cat"] == "pipeline"
+    ]
+    if not service_events or not pipeline_events:
+        return _fail(
+            f"unified trace missing a layer ({len(service_events)} service, "
+            f"{len(pipeline_events)} pipeline events)"
+        )
+    print(
+        f"  unified timeline ok: {len(service_events)} service spans + "
+        f"{len(pipeline_events)} sim stage events in one file"
+    )
+
+    # 5. /metrics exposition: parseable lines, required families present.
+    sample = re.compile(
+        r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? "
+        r"(-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|NaN)$"
+    )
+    for line in metrics_text.splitlines():
+        if line.startswith("#") or not line:
+            continue
+        if not sample.match(line):
+            return _fail(f"unparseable exposition line: {line!r}")
+    for family in ("repro_serve_tasks_done_total", "repro_serve_store_rows",
+                   "repro_jit_cache_hits_total",
+                   "repro_serve_queue_wait_seconds_bucket",
+                   "repro_serve_task_seconds_bucket"):
+        if family not in metrics_text:
+            return _fail(f"/metrics missing family {family}")
+    if stats["store"]["executions_total"] != stats["store"]["rows"]:
+        return _fail("store executions audit: executions_total != rows")
+    print(
+        f"  /metrics ok: {len(metrics_text.splitlines())} lines, "
+        f"required families present, store audit clean"
+    )
+
+    # 6. The same surfaces over the real stdlib HTTP frontend: SSE + text.
+    print("[http] SSE progress stream + /metrics over the wire...")
+    http_obs = ServiceObs(sim_trace=False)
+    http_service = CampaignService(None, workers=1, obs=http_obs)
+    bound = {}
+    ready = threading.Event()
+    stop = threading.Event()
+
+    def run_loop():
+        async def main():
+            import asyncio
+
+            server = await start_http_server(http_service, port=0)
+            bound["port"] = server.sockets[0].getsockname()[1]
+            pump = asyncio.ensure_future(http_service.drive())
+            ready.set()
+            try:
+                async with server:
+                    while not stop.is_set():
+                        await asyncio.sleep(0.01)
+            finally:
+                pump.cancel()
+
+        import asyncio
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run_loop, daemon=True)
+    thread.start()
+    if not ready.wait(30.0):
+        return _fail("HTTP frontend did not come up")
+    try:
+        client = HttpClient(f"http://127.0.0.1:{bound['port']}")
+        job_id = client.submit("workload-run", payloads[:4])
+        frames = list(client.events(job_id, timeout=300.0))
+        if not frames or frames[0]["event"] != "snapshot":
+            return _fail(f"SSE stream did not open with a snapshot: "
+                         f"{frames[:1]}")
+        if frames[-1]["event"] != "done":
+            return _fail(f"SSE stream did not close on a terminal frame: "
+                         f"{frames[-1]}")
+        wire_text = client.metrics_text()
+        if "repro_serve_tasks_done_total" not in wire_text:
+            return _fail("/metrics over HTTP missing counter families")
+    finally:
+        stop.set()
+        thread.join(timeout=10.0)
+        http_service.close()
+    print(f"  http ok: {len(frames)} SSE frames "
+          f"(snapshot -> ... -> {frames[-1]['event']}), /metrics served")
+
+    print("\nservice observability gate passed")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -219,9 +401,17 @@ def main(argv: list[str] | None = None) -> int:
         "--workloads", nargs="+", default=None,
         help="smoke-gate workload list (default: stream string_search)",
     )
+    parser.add_argument(
+        "--smoke-service", action="store_true",
+        help="run the service-observability gate (span tree, unified "
+             "campaign trace, /metrics exposition, SSE over HTTP, "
+             "byte-identical traced campaign)",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         return _smoke(args)
+    if args.smoke_service:
+        return _smoke_service(args)
     return _run(args)
 
 

@@ -170,6 +170,19 @@ class MetricsRegistry:
             for name, busy in telemetry.port_busy_cycles.items()
         }
 
+    def jit_metrics(self) -> dict:
+        """Process-wide jit backend health: compile-cache hit/miss and
+        compile-seconds totals plus block-exit-reason counts.
+
+        Imported lazily — the registry never drags the jit backend in
+        for interpreter-only runs (and the counters are process-global,
+        not per-run: they cover every PE compiled since the last
+        ``repro.jit.clear_cache()``).
+        """
+        from repro.jit.cache import jit_metrics
+
+        return jit_metrics()
+
     def snapshot(self) -> dict:
         """The complete metrics report as one JSON-ready dict."""
         report = {
@@ -179,6 +192,7 @@ class MetricsRegistry:
             "hazards": self.hazard_breakdown(),
             "queues": self.queue_metrics(),
             "ports": self.port_metrics(),
+            "jit": self.jit_metrics(),
         }
         if self.telemetry is not None:
             report["events"] = self.telemetry.summary()
@@ -235,6 +249,18 @@ class MetricsRegistry:
                     f"    {name}: busy {port['busy_cycles']} cycles "
                     f"({port['busy_fraction']:.1%})"
                 )
+        jit = snapshot.get("jit", {})
+        if jit.get("hits") or jit.get("misses"):
+            exits = " ".join(
+                f"{reason}={count}"
+                for reason, count in jit.get("block_exits", {}).items()
+            )
+            lines.append(
+                f"  jit cache: {jit['hits']} hits / {jit['misses']} misses, "
+                f"{jit['entries']} entries, "
+                f"{jit['compile_seconds']:.3f}s compiling"
+                + (f"; block exits: {exits}" if exits else "")
+            )
         events = snapshot.get("events")
         if events:
             census = " ".join(

@@ -167,3 +167,135 @@ def export_chrome_trace(telemetry: Telemetry, path: str, system=None) -> dict:
         json.dump(trace, handle)
         handle.write("\n")
     return trace
+
+
+# ----------------------------------------------------------------------
+# Campaign (service + simulator) timeline
+# ----------------------------------------------------------------------
+
+
+def campaign_trace(obs, include_sim: bool = True) -> dict:
+    """One Perfetto timeline for a whole traced campaign.
+
+    Process 1 ("campaign") renders the :class:`~repro.obs.svc.
+    ServiceObs` span tree: the "jobs" track on top, one track per
+    worker slot (the ``execute`` spans), one track per task (its
+    ``queue_wait``/``backoff``/``store_commit`` children).  Below it,
+    one process per traced task renders the simulator stage tracks the
+    worker shipped back — cycle timestamps scaled into that task's
+    wall-clock execute window — so "why was this campaign slow" reads
+    off a single artifact: campaign spans above, pipeline stages below.
+
+    Service timestamps are monotonic wall-clock converted to
+    microsecond offsets from the earliest span.
+    """
+    spans = list(obs.tracer.spans)
+    sim_traces = list(obs.sim_traces) if include_sim else []
+    starts = [span.start for span in spans]
+    starts.extend(entry["start"] for entry in sim_traces)
+    base = min(starts, default=0.0)
+
+    def us(stamp: float) -> int:
+        return int(round((stamp - base) * 1e6))
+
+    events: list[dict] = []
+    pid = 1
+    events.extend(_metadata(pid, "campaign"))
+
+    # Track layout: stable, reader-friendly order — "jobs" first, then
+    # worker slots, then per-task tracks in first-seen order.
+    tracks: dict[str, int] = {}
+
+    def tid_of(track: str) -> int:
+        if track not in tracks:
+            tracks[track] = len(tracks) + 1
+            events.extend(
+                _metadata(pid, "campaign", tid=tracks[track],
+                          thread_name=track)[1:]
+            )
+        return tracks[track]
+
+    tid_of("jobs")
+    for span in spans:
+        if span.track.startswith("worker"):
+            tid_of(span.track)
+
+    open_end = max(
+        (span.end for span in spans if span.end is not None), default=0.0
+    )
+    for span in spans:
+        end = span.end if span.end is not None else open_end
+        events.append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": us(span.start),
+            "dur": max(1, us(end) - us(span.start)),
+            "pid": pid,
+            "tid": tid_of(span.track),
+            "args": {
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                **span.attrs,
+            },
+        })
+
+    # -- simulator stage tracks, one process per traced task -------------
+    sim_pid = pid
+    for entry in sim_traces:
+        sim_pid += 1
+        data = entry["data"]
+        cycles = max(1, data.get("cycles", 1))
+        window = max(entry["end"] - entry["start"], 1e-9)
+        per_cycle_us = window * 1e6 / cycles
+        origin = us(entry["start"])
+
+        def sim_ts(cycle: float, origin=origin, per_cycle_us=per_cycle_us):
+            return origin + int(round(cycle * per_cycle_us))
+
+        events.extend(_metadata(sim_pid, f"sim {entry['task_id']}"))
+        tid = 0
+        for pe_name, pe_data in data.get("pes", {}).items():
+            stages = pe_data.get("stages", [])
+            for stage, intervals in enumerate(pe_data.get("intervals", [])):
+                tid += 1
+                label = (stages[stage] if stage < len(stages)
+                         else f"stage{stage}")
+                events.extend(_metadata(
+                    sim_pid, f"sim {entry['task_id']}", tid=tid,
+                    thread_name=f"{pe_name} {label}",
+                )[1:])
+                for start, end, name, slot, seq in intervals:
+                    events.append({
+                        "name": name,
+                        "cat": "pipeline",
+                        "ph": "X",
+                        "ts": sim_ts(start),
+                        "dur": max(1, sim_ts(end + 1) - sim_ts(start)),
+                        "pid": sim_pid,
+                        "tid": tid,
+                        "args": {"slot": slot, "seq": seq,
+                                 "cycle": start},
+                    })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "unit": "1 trace microsecond == 1 wall-clock microsecond; "
+                    "sim tracks scaled into their execute windows",
+            "spans": len(spans),
+            "spans_dropped": obs.tracer.dropped,
+            "sim_tasks": len(sim_traces),
+        },
+    }
+
+
+def export_campaign_trace(obs, path: str, include_sim: bool = True) -> dict:
+    """Write the unified campaign timeline to ``path``; returns it."""
+    trace = campaign_trace(obs, include_sim=include_sim)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle)
+        handle.write("\n")
+    return trace

@@ -27,7 +27,12 @@ from repro.serve.client import HttpClient, InProcessClient
 from repro.serve.service import CampaignService, Job
 from repro.serve.store import ResultStore, canonical_json, task_fingerprint
 from repro.serve.supervisor import SupervisedTask, Supervisor, TaskOutcome
-from repro.serve.tasks import execute, register, registered_kinds
+from repro.serve.tasks import (
+    execute,
+    execute_traced,
+    register,
+    registered_kinds,
+)
 
 del _chaos
 
@@ -44,6 +49,7 @@ __all__ = [
     "TaskOutcome",
     "canonical_json",
     "execute",
+    "execute_traced",
     "register",
     "registered_kinds",
     "task_fingerprint",

@@ -16,8 +16,11 @@ proves the store-assembled results are byte-identical to an
 uninterrupted serial run with zero duplicated executions recorded.
 
 ``python -m repro.serve --serve [--port P] [--store PATH]`` runs the
-local HTTP/JSON frontend; ``--run-child SPEC.json`` is the chaos run's
-child entry point (not for interactive use).
+local HTTP/JSON frontend; add ``--obs`` for spans + /metrics histograms
++ JSON logs, ``--sim-trace`` to also ship simulator stage tracks back
+from workers, and ``--trace-out PATH`` to write the unified campaign
+Perfetto timeline on shutdown.  ``--run-child SPEC.json`` is the chaos
+run's child entry point (not for interactive use).
 """
 
 from __future__ import annotations
@@ -316,14 +319,22 @@ def run_chaos(scale: int, seed: int, workdir: str,
 # --serve
 # ----------------------------------------------------------------------
 
-def run_server(host: str, port: int, store: str | None, workers: int) -> int:
+def run_server(host: str, port: int, store: str | None, workers: int,
+               obs: bool = False, sim_trace: bool = False,
+               trace_out: str | None = None) -> int:
     from repro.serve.http import serve_forever
 
-    service = CampaignService(store, workers=workers)
+    service_obs = None
+    if obs or sim_trace or trace_out:
+        from repro.obs import JsonLogger, ServiceObs
+
+        service_obs = ServiceObs(sim_trace=sim_trace, logger=JsonLogger())
+    service = CampaignService(store, workers=workers, obs=service_obs)
 
     def announce(bound) -> None:
         print(f"repro.serve listening on http://{bound[0]}:{bound[1]} "
-              f"(store={store or ':memory:'}, workers={workers})",
+              f"(store={store or ':memory:'}, workers={workers}, "
+              f"obs={'on' if service_obs else 'off'})",
               flush=True)
 
     try:
@@ -333,6 +344,12 @@ def run_server(host: str, port: int, store: str | None, workers: int) -> int:
         pass
     finally:
         service.close()
+        if service_obs is not None and trace_out:
+            from repro.obs import export_campaign_trace
+
+            trace = export_campaign_trace(service_obs, trace_out)
+            print(f"wrote {len(trace['traceEvents'])} campaign trace "
+                  f"events to {trace_out} (open in Perfetto)", flush=True)
     return 0
 
 
@@ -360,6 +377,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--store", default=None,
                         help="durable result store path (sqlite)")
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--obs", action="store_true",
+                        help="--serve: attach service observability "
+                             "(spans, /metrics histograms, JSON logs on "
+                             "stderr)")
+    parser.add_argument("--sim-trace", action="store_true",
+                        help="--serve: also ship simulator stage tracks "
+                             "back from traced task kinds (implies --obs)")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="--serve: write the unified campaign Perfetto "
+                             "timeline to PATH on shutdown (implies --obs)")
     args = parser.parse_args(argv)
 
     if args.run_child:
@@ -372,7 +399,9 @@ def main(argv: list[str] | None = None) -> int:
         with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
             return run_chaos(args.scale or 64, args.seed, workdir)
     if args.serve:
-        return run_server(args.host, args.port, args.store, args.workers)
+        return run_server(args.host, args.port, args.store, args.workers,
+                          obs=args.obs, sim_trace=args.sim_trace,
+                          trace_out=args.trace_out)
     parser.print_help()
     return 2
 

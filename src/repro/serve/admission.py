@@ -76,6 +76,12 @@ class AdmissionController:
     * ``rate``/``burst`` meter job submissions per client id.
     """
 
+    #: Optional :class:`repro.obs.svc.ServiceObs` seam; the owning
+    #: service sets it so rejections carry structured logs and the
+    #: ``retry_after`` hints feed a histogram.  Counters come from
+    #: :meth:`stats` (no double counting).
+    obs = None
+
     def __init__(
         self,
         max_queued_jobs: int = 64,
@@ -108,6 +114,14 @@ class AdmissionController:
                 retry_after: float | None) -> AdmissionError:
         self.rejected_jobs += 1
         self.rejections[reason] = self.rejections.get(reason, 0) + 1
+        if self.obs is not None:
+            if retry_after is not None and retry_after != float("inf"):
+                self.obs.metrics.observe(
+                    "repro_serve_retry_after_seconds", retry_after
+                )
+            self.obs.log("admission_reject", level="warning",
+                         reason=reason, message=message,
+                         retry_after=retry_after)
         return AdmissionError(message, reason=reason, retry_after=retry_after)
 
     def admit(self, job, *, client: str = "local", priority: int = 0,

@@ -137,6 +137,31 @@ class HttpClient:
             raise CampaignError(f"stats failed (HTTP {status}): {body}")
         return body
 
+    def metrics_text(self) -> str:
+        """Raw Prometheus text exposition from ``GET /metrics``."""
+        request = urllib.request.Request(self.base_url + "/metrics")
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            return response.read().decode("utf-8")
+
+    def events(self, job_id: str, timeout: float = 60.0):
+        """Iterate a job's SSE frames (decoded JSON) until the stream
+        closes on the terminal ``done``/``failed`` frame."""
+        request = urllib.request.Request(
+            self.base_url + f"/jobs/{job_id}/events"
+        )
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            data: str | None = None
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if not line:
+                    if data is not None:
+                        yield json.loads(data)
+                    data = None
+                elif line.startswith("data:"):
+                    data = line[len("data:"):].strip()
+                # "event:" names duplicate the frame's "event" field and
+                # ":" comment lines (drop notices) carry no JSON.
+
     def healthy(self) -> bool:
         try:
             status, _body = self._request("GET", "/healthz")

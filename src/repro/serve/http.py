@@ -11,6 +11,13 @@ POST     ``/jobs``               submit ``{kind, payloads, priority,
 GET      ``/jobs/<id>``          job status (state, progress, profile)
 GET      ``/jobs/<id>/results``  ordered results once finished (409 while
                                  running, 500 with the failure otherwise)
+GET      ``/jobs/<id>/events``   Server-Sent-Events live progress: a
+                                 ``snapshot`` frame, then lifecycle
+                                 frames (``active``/``progress``), then
+                                 a terminal ``done``/``failed`` frame
+                                 and the stream closes
+GET      ``/metrics``            Prometheus text exposition (works with
+                                 or without an attached ServiceObs)
 GET      ``/stats``              service-wide stats (admission, pool,
                                  store, jobs)
 GET      ``/healthz``            liveness probe
@@ -19,7 +26,8 @@ GET      ``/healthz``            liveness probe
 Backpressure extends into the transport: admission rejections map onto
 429 (rate limiting) and 503 (queue/backlog full) with a
 ``retry_after`` hint, so a well-behaved client backs off instead of
-retry-hammering a saturated service.
+retry-hammering a saturated service — and a slow SSE consumer loses
+oldest frames from its bounded buffer rather than stalling the pump.
 """
 
 from __future__ import annotations
@@ -40,15 +48,36 @@ _STATUS_TEXT = {
 }
 
 
-def _response(status: int, body: dict) -> bytes:
-    payload = json.dumps(body).encode("utf-8")
+def _response(status: int, body) -> bytes:
+    if isinstance(body, str):
+        # Plain-text bodies (the /metrics exposition).
+        payload = body.encode("utf-8")
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        payload = json.dumps(body).encode("utf-8")
+        content_type = "application/json"
     head = (
         f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(payload)}\r\n"
         f"Connection: close\r\n\r\n"
     )
     return head.encode("ascii") + payload
+
+
+class _SseStream:
+    """Sentinel routing result: stream ``job``'s events instead of one
+    JSON response."""
+
+    __slots__ = ("job",)
+
+    def __init__(self, job) -> None:
+        self.job = job
+
+
+def _sse_frame(event: dict) -> bytes:
+    name = event.get("event", "message")
+    return (f"event: {name}\ndata: {json.dumps(event)}\n\n").encode("utf-8")
 
 
 async def _read_request(reader: asyncio.StreamReader):
@@ -92,12 +121,16 @@ class HttpFrontend:
             return 200, {"ok": True, "serial": self.service.supervisor.serial}
         if path == "/stats" and method == "GET":
             return 200, self.service.stats()
+        if path == "/metrics" and method == "GET":
+            return 200, self.service.metrics_text()
         if path == "/jobs" and method == "POST":
             return self._submit(body)
         if path.startswith("/jobs/"):
             tail = path[len("/jobs/"):]
             if tail.endswith("/results"):
                 return self._results(method, tail[: -len("/results")])
+            if tail.endswith("/events"):
+                return self._events(method, tail[: -len("/events")])
             return self._status(method, tail)
         return 404, {"error": f"no route for {method} {path}"}
 
@@ -156,6 +189,14 @@ class HttpFrontend:
             return 500, {"error": str(exc), "state": job.state}
         return 200, {"kind": job.kind, "results": list(job.results)}
 
+    def _events(self, method: str, job_id: str):
+        if method != "GET":
+            return 405, {"error": "job events are GET-only"}
+        job = self.service.jobs.get(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        return _SseStream(job)
+
     # -- connection handler ----------------------------------------------
 
     async def serve_connection(self, reader: asyncio.StreamReader,
@@ -164,13 +205,14 @@ class HttpFrontend:
             request = await _read_request(reader)
             if request is not None:
                 try:
-                    status, payload = self.handle(*request)
+                    result = self.handle(*request)
                 except Exception as exc:   # never kill the server loop
-                    status, payload = 500, {
-                        "error": f"{type(exc).__name__}: {exc}"
-                    }
-                writer.write(_response(status, payload))
-                await writer.drain()
+                    result = 500, {"error": f"{type(exc).__name__}: {exc}"}
+                if isinstance(result, _SseStream):
+                    await self._stream_events(writer, result.job)
+                else:
+                    writer.write(_response(*result))
+                    await writer.drain()
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
@@ -179,6 +221,58 @@ class HttpFrontend:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    async def _stream_events(self, writer: asyncio.StreamWriter,
+                             job) -> None:
+        """SSE: a snapshot frame, live frames as the pump publishes them,
+        a terminal frame named after the final state, then close.
+
+        Close-delimited like every other response; the subscriber's
+        bounded buffer (drop-oldest) keeps a slow consumer from growing
+        service memory, and any drops are surfaced as an SSE comment.
+        """
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        stream = job.subscribe()
+        reported_drops = 0
+        try:
+            writer.write(_sse_frame({"event": "snapshot", **job.status()}))
+            await writer.drain()
+            if job.finished:
+                writer.write(_sse_frame({
+                    "event": job.state, "job_id": job.job_id,
+                    "state": job.state, "resolved": job.resolved,
+                    "total": job.total,
+                }))
+                await writer.drain()
+                return
+            while True:
+                events = stream.pop_all()
+                terminal = False
+                wrote = bool(events)
+                for event in events:
+                    writer.write(_sse_frame(event))
+                    terminal = terminal or event.get("event") in (
+                        "done", "failed"
+                    )
+                if stream.dropped > reported_drops:
+                    writer.write(
+                        f": dropped {stream.dropped - reported_drops} "
+                        f"frames (slow consumer)\n\n".encode("ascii")
+                    )
+                    reported_drops = stream.dropped
+                    wrote = True
+                if wrote:
+                    await writer.drain()
+                if terminal:
+                    return
+                await asyncio.sleep(self.service.poll_interval)
+        finally:
+            job.unsubscribe(stream)
 
 
 async def start_http_server(service: CampaignService, host: str = "127.0.0.1",

@@ -28,6 +28,7 @@ import time
 
 from repro.errors import CampaignError
 from repro.obs.campaign import CampaignProfile
+from repro.obs.svc import JobEventStream, stats_metrics
 from repro.parallel import WorkerTraceback
 from repro.serve import tasks as task_registry
 from repro.serve.admission import AdmissionController
@@ -66,6 +67,42 @@ class Job:
         self.shared = 0       # slots resolved by another task's execution
         self.submitted = time.time()
         self.profile = CampaignProfile(label=job_id)
+        #: Trace correlation (obs-attached services; ``trace_id == job_id``).
+        self.trace_id: str | None = None
+        self.span = None              # the job's root span
+        self.task_spans: dict = {}    # slot -> open task span
+        self._subscribers: list[JobEventStream] = []
+
+    # -- SSE event fan-out ------------------------------------------------
+
+    def subscribe(self, max_buffer: int = 256) -> JobEventStream:
+        """Attach one SSE subscriber; always unsubscribe it."""
+        stream = JobEventStream(max_buffer=max_buffer)
+        self._subscribers.append(stream)
+        return stream
+
+    def unsubscribe(self, stream: JobEventStream) -> None:
+        try:
+            self._subscribers.remove(stream)
+        except ValueError:
+            pass
+
+    def publish(self, event: str, **data) -> None:
+        """Push one lifecycle event to every subscriber (no-op without
+        any — jobs pay nothing for the SSE surface until someone
+        listens)."""
+        if not self._subscribers:
+            return
+        frame = {
+            "event": event,
+            "job_id": self.job_id,
+            "state": self.state,
+            "resolved": self.resolved,
+            "total": self.total,
+            **data,
+        }
+        for stream in self._subscribers:
+            stream.push(frame)
 
     @property
     def total(self) -> int:
@@ -107,6 +144,7 @@ class CampaignService:
         *,
         admission: AdmissionController | None = None,
         telemetry=None,
+        obs=None,
         poll_interval: float = 0.005,
         **supervisor_kwargs,
     ) -> None:
@@ -114,9 +152,15 @@ class CampaignService:
             store if isinstance(store, ResultStore) else ResultStore(store)
         )
         self.telemetry = telemetry
+        #: Optional :class:`repro.obs.svc.ServiceObs`, threaded through
+        #: admission and the supervised pool (None-default seam).
+        self.obs = obs
         self.admission = admission or AdmissionController()
+        if obs is not None and self.admission.obs is None:
+            self.admission.obs = obs
         self.supervisor = Supervisor(
-            workers=workers, telemetry=telemetry, **supervisor_kwargs
+            workers=workers, telemetry=telemetry, obs=obs,
+            **supervisor_kwargs
         )
         self.poll_interval = poll_interval
         self.jobs: dict[str, Job] = {}
@@ -143,9 +187,33 @@ class CampaignService:
             f"job-{self._job_seq:04d}", kind, list(payloads),
             client=client, priority=priority,
         )
-        self.admission.admit(
-            job, client=client, priority=priority, tasks=job.total
-        )
+        admission_span = None
+        if self.obs is not None:
+            job.trace_id = job.job_id
+            job.span = self.obs.tracer.begin(
+                "job", trace_id=job.trace_id, track="jobs",
+                job=job.job_id, kind=kind, tasks=job.total, client=client,
+            )
+            admission_span = self.obs.tracer.begin(
+                "admission", trace_id=job.trace_id,
+                parent=job.span.span_id, track="jobs", job=job.job_id,
+            )
+        try:
+            self.admission.admit(
+                job, client=client, priority=priority, tasks=job.total
+            )
+        except Exception as exc:
+            if self.obs is not None:
+                self.obs.tracer.end(admission_span, rejected=True)
+                self.obs.tracer.end(job.span, state="rejected",
+                                    error=type(exc).__name__)
+            raise
+        if self.obs is not None:
+            self.obs.tracer.end(admission_span)
+            self.obs.log("job_admitted", trace_id=job.trace_id,
+                         span_id=job.span.span_id, job=job.job_id,
+                         kind=kind, tasks=job.total, client=client,
+                         priority=priority)
         self.jobs[job.job_id] = job
         self._emit("job_admitted", job=job.job_id, task_kind=kind,
                    tasks=job.total, client=client, priority=priority)
@@ -173,6 +241,13 @@ class CampaignService:
             if stored is not _PENDING:
                 job.from_store += 1
                 job.profile.checkpoint_hit()
+                if self.obs is not None and job.trace_id is not None:
+                    now = self.obs.tracer.clock()
+                    self.obs.tracer.record(
+                        "store_hit", now, now, trace_id=job.trace_id,
+                        parent=job.span.span_id, track="jobs",
+                        category="store", slot=slot,
+                    )
                 self._resolve(job, slot, stored)
                 continue
             waiters = self._inflight.get(fingerprint)
@@ -180,22 +255,42 @@ class CampaignService:
                 waiters.append((job, slot))
                 continue
             self._inflight[fingerprint] = [(job, slot)]
-            self.supervisor.submit(SupervisedTask(
+            task = SupervisedTask(
                 task_id=f"{job.job_id}/{slot}",
                 kind=job.kind,
                 payload=job.payloads[slot],
                 fingerprint=fingerprint,
-            ))
+            )
+            if self.obs is not None and job.trace_id is not None:
+                span = self.obs.tracer.begin(
+                    "task", trace_id=job.trace_id,
+                    parent=job.span.span_id, track=f"task {task.task_id}",
+                    slot=slot, kind=job.kind,
+                )
+                job.task_spans[slot] = span
+                task.trace_id = job.trace_id
+                task.span_id = span.span_id
+            self.supervisor.submit(task)
+        job.publish("active", from_store=job.from_store)
         self._finish_if_done(job)
 
     def _land(self, outcome: TaskOutcome) -> None:
         task = outcome.task
         waiters = self._inflight.pop(task.fingerprint, [])
         if outcome.status == TaskOutcome.DONE:
-            self.store.put(
+            commit_span = None
+            if self.obs is not None and task.trace_id is not None:
+                commit_span = self.obs.tracer.begin(
+                    "store_commit", trace_id=task.trace_id,
+                    parent=task.span_id, track=f"task {task.task_id}",
+                    category="store",
+                )
+            inserted = self.store.put(
                 task.fingerprint, task.kind, task.payload,
                 outcome.result, outcome.seconds,
             )
+            if commit_span is not None:
+                self.obs.tracer.end(commit_span, inserted=inserted)
             # Canonical form: identical whether computed now or replayed.
             result = json.loads(canonical_json(outcome.result))
             for index, (job, slot) in enumerate(waiters):
@@ -205,33 +300,61 @@ class CampaignService:
                                           outcome.seconds)
                 else:
                     job.shared += 1
+                self._close_task_span(job, slot, status="done")
                 self._resolve(job, slot, result)
         else:
             for job, slot in waiters:
                 if outcome.status == TaskOutcome.QUARANTINED:
                     job.quarantined[slot] = outcome.forensic
                 job.errors[slot] = outcome.error
+                self._close_task_span(job, slot, status=outcome.status,
+                                      error=outcome.error[0])
                 self._resolve(job, slot, None)
         for job, _slot in waiters:
             self._finish_if_done(job)
+
+    def _close_task_span(self, job: Job, slot: int, **attrs) -> None:
+        span = job.task_spans.pop(slot, None)
+        if span is not None:
+            self.obs.tracer.end(span, **attrs)
 
     def _resolve(self, job: Job, slot: int, value) -> None:
         if job.results[slot] is not _PENDING:
             return
         job.results[slot] = value
         self.admission.task_finished()
+        job.publish("progress", slot=slot, from_store=job.from_store,
+                    executed=job.executed, shared=job.shared)
 
     def _finish_if_done(self, job: Job) -> None:
         if job.finished or job.resolved < job.total:
             return
         job.state = Job.FAILED if (job.errors or job.quarantined) else Job.DONE
         job.profile.finish()
+        if self.obs is not None and job.span is not None:
+            self.obs.tracer.end(
+                job.span, state=job.state, executed=job.executed,
+                from_store=job.from_store, shared=job.shared,
+                failed=len(job.errors), quarantined=len(job.quarantined),
+            )
+            self.obs.log(
+                "job_done", trace_id=job.trace_id, span_id=job.span.span_id,
+                job=job.job_id, state=job.state, executed=job.executed,
+                from_store=job.from_store, shared=job.shared,
+                failed=len(job.errors), quarantined=len(job.quarantined),
+            )
         self._emit(
             "job_done", job=job.job_id, state=job.state,
             executed=job.executed, from_store=job.from_store,
             shared=job.shared, failed=len(job.errors),
             quarantined=len(job.quarantined),
         )
+        # Terminal SSE frame; its event name equals the final state, so
+        # the HTTP handler (and any client) closes on "done"/"failed".
+        job.publish(job.state, executed=job.executed,
+                    from_store=job.from_store, shared=job.shared,
+                    failed=len(job.errors),
+                    quarantined=len(job.quarantined))
 
     @property
     def idle(self) -> bool:
@@ -309,7 +432,7 @@ class CampaignService:
         states: dict[str, int] = {}
         for job in self.jobs.values():
             states[job.state] = states.get(job.state, 0) + 1
-        return {
+        stats = {
             "jobs": states,
             "admission": self.admission.stats(),
             "supervisor": dict(self.supervisor.metrics),
@@ -318,6 +441,29 @@ class CampaignService:
             "pending_tasks": len(self.supervisor.pending),
             "in_flight": self.supervisor.in_flight,
         }
+        if self.obs is not None:
+            stats["obs"] = {
+                "spans": len(self.obs.tracer.spans),
+                "spans_dropped": self.obs.tracer.dropped,
+                "sim_traces": len(self.obs.sim_traces),
+            }
+        return stats
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition (format 0.0.4) for ``GET /metrics``.
+
+        Works on an uninstrumented service — the counter families are
+        derived from :meth:`stats` plus process-wide jit-cache stats —
+        and gains the live histogram families (queue wait, per-kind
+        task latency, admission ``retry_after``) when a
+        :class:`~repro.obs.svc.ServiceObs` is attached.
+        """
+        from repro.jit.cache import jit_metrics
+
+        text = stats_metrics(self.stats(), jit=jit_metrics()).prometheus_text()
+        if self.obs is not None:
+            text += self.obs.metrics.prometheus_text()
+        return text
 
     def close(self) -> None:
         self._closed = True

@@ -180,6 +180,25 @@ class ResultStore:
         ).fetchone()
         return int(row[0])
 
+    def executions_total(self) -> int:
+        """Sum of recorded executions over the whole store.
+
+        Equals ``rows`` on a healthy store (every fingerprint executed
+        exactly once) — the audit the ``/stats`` health check reads
+        without a separate sqlite query.
+        """
+        row = self._conn.execute(
+            "SELECT COALESCE(SUM(executions), 0) FROM results"
+        ).fetchone()
+        return int(row[0])
+
+    def seconds_total(self) -> float:
+        """Total recorded execute seconds across all stored results."""
+        row = self._conn.execute(
+            "SELECT COALESCE(SUM(seconds), 0.0) FROM results"
+        ).fetchone()
+        return float(row[0])
+
     def kinds(self) -> dict[str, int]:
         """Stored row count per task kind."""
         return dict(
@@ -198,6 +217,8 @@ class ResultStore:
             "puts": self.puts,
             "duplicate_puts": self.duplicate_puts,
             "max_executions": self.max_executions(),
+            "executions_total": self.executions_total(),
+            "seconds_total": self.seconds_total(),
             "recovered_corrupt": self.recovered_corrupt,
             "kinds": self.kinds(),
         }

@@ -50,34 +50,60 @@ _DONE = "done"
 
 
 def _worker_main(worker_id: int, inbox, outbox) -> None:
-    """Worker process loop: execute tasks from the inbox until ``None``."""
+    """Worker process loop: execute tasks from the inbox until ``None``.
+
+    Messages are 3-tuples ``(task_id, kind, payload)`` on an
+    uninstrumented pool; with a :class:`~repro.obs.svc.ServiceObs`
+    attached a 4th element carries trace context (``{"trace", "span",
+    "sim"}``) and the reply grows a matching 6th element with the
+    worker-side monotonic window (comparable across ``fork`` on Linux —
+    CLOCK_MONOTONIC is system-wide) plus the optional simulator
+    stage-track payload.  The byte format of the uninstrumented flow is
+    untouched.
+    """
     while True:
         message = inbox.get()
         if message is None:
             return
-        task_id, kind, payload = message
+        if len(message) == 4:
+            task_id, kind, payload, ctx = message
+        else:
+            task_id, kind, payload = message
+            ctx = None
         start = time.perf_counter()
+        started_mono = time.monotonic() if ctx is not None else 0.0
         try:
-            result = task_registry.execute(kind, payload)
-            outbox.put(
-                (_DONE, task_id, True, result, time.perf_counter() - start)
-            )
+            sim = None
+            if ctx is not None and ctx.get("sim"):
+                result, sim = task_registry.execute_traced(kind, payload)
+            else:
+                result = task_registry.execute(kind, payload)
+            seconds = time.perf_counter() - start
+            if ctx is None:
+                outbox.put((_DONE, task_id, True, result, seconds))
+            else:
+                outbox.put((_DONE, task_id, True, result, seconds, {
+                    "start": started_mono, "end": time.monotonic(),
+                    "sim": sim,
+                }))
         except Exception as exc:
             # DeadlockError-style exceptions carry a structured forensic
             # report; ride it back for the quarantine/failure record.
             report = getattr(exc, "report", None)
-            outbox.put((
-                _DONE,
-                task_id,
-                False,
-                (
-                    type(exc).__name__,
-                    str(exc),
-                    traceback.format_exc(),
-                    report if isinstance(report, dict) else None,
-                ),
-                time.perf_counter() - start,
-            ))
+            error = (
+                type(exc).__name__,
+                str(exc),
+                traceback.format_exc(),
+                report if isinstance(report, dict) else None,
+            )
+            seconds = time.perf_counter() - start
+            if ctx is None:
+                outbox.put((_DONE, task_id, False, error, seconds))
+            else:
+                outbox.put((_DONE, task_id, False, error, seconds, {
+                    "start": started_mono, "end": time.monotonic(),
+                    "sim": None,
+                }))
 
 
 class SupervisedTask:
@@ -86,10 +112,12 @@ class SupervisedTask:
     __slots__ = (
         "task_id", "kind", "payload", "fingerprint",
         "attempts", "failures", "submitted_at",
+        "trace_id", "span_id", "queue_span", "enqueued_at",
     )
 
     def __init__(self, task_id: str, kind: str, payload: dict,
-                 fingerprint: str) -> None:
+                 fingerprint: str, trace_id: str | None = None,
+                 span_id: str | None = None) -> None:
         self.task_id = task_id
         self.kind = kind
         self.payload = payload
@@ -98,6 +126,12 @@ class SupervisedTask:
         #: Attempt-history records for the forensic report.
         self.failures: list[dict] = []
         self.submitted_at: float | None = None
+        #: Trace context (set by the service when obs is attached); the
+        #: span is the parent ``task`` span the pool's spans nest under.
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.queue_span = None
+        self.enqueued_at: float | None = None
 
 
 class TaskOutcome:
@@ -124,7 +158,7 @@ class _Worker:
     """One supervised worker process plus its private queue pair."""
 
     __slots__ = ("worker_id", "process", "inbox", "outbox",
-                 "current", "deadline")
+                 "current", "deadline", "span")
 
     def __init__(self, worker_id: int, ctx) -> None:
         self.worker_id = worker_id
@@ -138,6 +172,8 @@ class _Worker:
         )
         self.current: SupervisedTask | None = None
         self.deadline: float | None = None
+        #: Open ``execute`` span for the in-flight task (obs only).
+        self.span = None
 
     @property
     def idle(self) -> bool:
@@ -164,6 +200,7 @@ class Supervisor:
         backoff_cap: float = 2.0,
         seed: int = 0,
         telemetry=None,
+        obs=None,
         clock=time.monotonic,
         serial: bool = False,
     ) -> None:
@@ -174,6 +211,8 @@ class Supervisor:
         self.backoff_cap = backoff_cap
         self.seed = seed
         self.telemetry = telemetry
+        #: Optional :class:`repro.obs.svc.ServiceObs`; None-default seam.
+        self.obs = obs
         self.clock = clock
         self.serial = serial
         self.pending: collections.deque[SupervisedTask] = collections.deque()
@@ -202,7 +241,27 @@ class Supervisor:
 
     def submit(self, task: SupervisedTask) -> None:
         task.submitted_at = self.clock()
+        self._enqueue(task)
+
+    def _enqueue(self, task: SupervisedTask) -> None:
+        """Queue a task for dispatch, opening its ``queue_wait`` span."""
+        task.enqueued_at = self.clock()
+        if self.obs is not None and task.trace_id is not None:
+            task.queue_span = self.obs.tracer.begin(
+                "queue_wait", trace_id=task.trace_id, parent=task.span_id,
+                track=f"task {task.task_id}", task=task.task_id,
+            )
         self.pending.append(task)
+
+    def _close_queue_span(self, task: SupervisedTask) -> None:
+        if self.obs is not None and task.queue_span is not None:
+            self.obs.tracer.end(task.queue_span)
+            task.queue_span = None
+            if task.enqueued_at is not None:
+                self.obs.metrics.observe(
+                    "repro_serve_queue_wait_seconds",
+                    max(0.0, self.clock() - task.enqueued_at),
+                )
 
     @property
     def in_flight(self) -> int:
@@ -227,10 +286,15 @@ class Supervisor:
             self.serial = True
             self.metrics["serial_fallback"] = True
             self._emit("serial_fallback", error=f"{type(exc).__name__}: {exc}")
+            if self.obs is not None:
+                self.obs.log("serial_fallback", level="warning",
+                             error=f"{type(exc).__name__}: {exc}")
             return None
         self.metrics["worker_spawns"] += 1
         self._workers[worker.worker_id] = worker
         self._emit("worker_spawn", worker=worker.worker_id)
+        if self.obs is not None:
+            self.obs.log("worker_spawn", worker=worker.worker_id)
         return worker
 
     def _ensure_workers(self) -> None:
@@ -241,6 +305,9 @@ class Supervisor:
     def _kill_worker(self, worker: _Worker, reason: str) -> None:
         self.metrics["worker_kills"] += 1
         self._emit("worker_kill", worker=worker.worker_id, reason=reason)
+        if self.obs is not None:
+            self.obs.log("worker_kill", level="warning",
+                         worker=worker.worker_id, reason=reason)
         try:
             worker.process.kill()
             worker.process.join(timeout=5.0)
@@ -272,6 +339,20 @@ class Supervisor:
                 "attempts": list(task.failures),
                 "max_task_failures": self.max_task_failures,
             }
+            if self.obs is not None:
+                # Mirror PR 3's deadlock forensics: the quarantine report
+                # carries the correlation IDs and a metrics snapshot so a
+                # poison-task post-mortem is self-contained.
+                forensic["trace"] = {
+                    "trace_id": task.trace_id,
+                    "span_id": task.span_id,
+                }
+                forensic["supervisor_metrics"] = dict(self.metrics)
+                forensic["service_metrics"] = self.obs.metrics.snapshot()
+                self.obs.log("task_quarantined", level="error",
+                             trace_id=task.trace_id, span_id=task.span_id,
+                             task=task.task_id, kind=task.kind,
+                             failure=failure, attempts=len(task.failures))
             self._emit("task_quarantined", task=task.task_id,
                        task_kind=task.kind, attempts=len(task.failures))
             return TaskOutcome(
@@ -285,6 +366,18 @@ class Supervisor:
         )
         self._emit("task_retry", task=task.task_id, failure=failure,
                    attempt=len(task.failures), delay=delay)
+        if self.obs is not None and task.trace_id is not None:
+            now = self.clock()
+            self.obs.tracer.record(
+                "backoff", now, now + delay, trace_id=task.trace_id,
+                parent=task.span_id, track=f"task {task.task_id}",
+                failure=failure, attempt=len(task.failures),
+            )
+            self.obs.log("task_retry", level="warning",
+                         trace_id=task.trace_id, span_id=task.span_id,
+                         task=task.task_id, failure=failure,
+                         attempt=len(task.failures),
+                         delay=round(delay, 6))
         heapq.heappush(
             self._delayed, (self.clock() + delay, self._delay_seq, task)
         )
@@ -303,7 +396,7 @@ class Supervisor:
         self._reap(outcomes, now)
         self._check_deadlines(outcomes, now)
         while self._delayed and self._delayed[0][0] <= now:
-            self.pending.append(heapq.heappop(self._delayed)[2])
+            self._enqueue(heapq.heappop(self._delayed)[2])
         self._ensure_workers()
         if self.serial:
             # Spawn failed mid-poll: let the serial path make progress.
@@ -316,20 +409,46 @@ class Supervisor:
         """Serial degradation: run one pending task in-process per poll."""
         now = self.clock()
         while self._delayed and self._delayed[0][0] <= now:
-            self.pending.append(heapq.heappop(self._delayed)[2])
+            self._enqueue(heapq.heappop(self._delayed)[2])
         if not self.pending:
             return []
         task = self.pending.popleft()
         task.attempts += 1
+        self._close_queue_span(task)
+        span = None
+        traced = False
+        if self.obs is not None and task.trace_id is not None:
+            span = self.obs.tracer.begin(
+                "execute", trace_id=task.trace_id, parent=task.span_id,
+                track="worker serial", task=task.task_id,
+                kind=task.kind, attempt=task.attempts,
+            )
+            traced = self.obs.sim_trace
         start = time.perf_counter()
         try:
-            result = task_registry.execute(task.kind, task.payload)
+            sim = None
+            if traced:
+                result, sim = task_registry.execute_traced(
+                    task.kind, task.payload
+                )
+            else:
+                result = task_registry.execute(task.kind, task.payload)
         except Exception as exc:
+            if span is not None:
+                self.obs.tracer.end(span, ok=False,
+                                    error=type(exc).__name__)
             report = getattr(exc, "report", None)
             return [self._task_failed(task, (
                 type(exc).__name__, str(exc), traceback.format_exc(),
                 report if isinstance(report, dict) else None,
             ), time.perf_counter() - start)]
+        if span is not None:
+            self.obs.tracer.end(span, ok=True)
+            if sim is not None:
+                self.obs.add_sim_trace(
+                    task.task_id, sim, start=span.start, end=span.end,
+                    trace_id=task.trace_id,
+                )
         return [self._task_done(task, result, time.perf_counter() - start)]
 
     def _task_done(self, task: SupervisedTask, result,
@@ -337,6 +456,13 @@ class Supervisor:
         self.metrics["tasks_done"] += 1
         self._emit("task_done", task=task.task_id, task_kind=task.kind,
                    seconds=seconds, attempts=task.attempts)
+        if self.obs is not None:
+            self.obs.metrics.observe("repro_serve_task_seconds", seconds,
+                                     kind=task.kind)
+            self.obs.log("task_done", trace_id=task.trace_id,
+                         span_id=task.span_id, task=task.task_id,
+                         kind=task.kind, seconds=round(seconds, 6),
+                         attempts=task.attempts)
         return TaskOutcome(task, TaskOutcome.DONE, result=result,
                            seconds=seconds)
 
@@ -345,6 +471,13 @@ class Supervisor:
         self.metrics["tasks_failed"] += 1
         self._emit("task_failed", task=task.task_id, task_kind=task.kind,
                    error=error[0], attempts=task.attempts)
+        if self.obs is not None:
+            self.obs.metrics.observe("repro_serve_task_seconds", seconds,
+                                     kind=task.kind)
+            self.obs.log("task_failed", level="error",
+                         trace_id=task.trace_id, span_id=task.span_id,
+                         task=task.task_id, kind=task.kind, error=error[0],
+                         attempts=task.attempts)
         return TaskOutcome(task, TaskOutcome.FAILED, error=error,
                            seconds=seconds)
 
@@ -360,12 +493,33 @@ class Supervisor:
                     break
                 if not (isinstance(message, tuple) and message[0] == _DONE):
                     continue
-                __, task_id, ok, payload, seconds = message
+                if len(message) == 6:
+                    __, task_id, ok, payload, seconds, remote = message
+                else:
+                    __, task_id, ok, payload, seconds = message
+                    remote = None
                 task = worker.current
                 if task is None or task.task_id != task_id:
                     continue   # stale result from a superseded dispatch
                 worker.current = None
                 worker.deadline = None
+                span, worker.span = worker.span, None
+                if self.obs is not None and span is not None:
+                    self.obs.tracer.end(span, ok=ok)
+                    if remote is not None:
+                        # The worker's own monotonic window: dispatch
+                        # latency is visible as the gap to the span edges.
+                        self.obs.tracer.record(
+                            "worker_run", remote["start"], remote["end"],
+                            trace_id=task.trace_id, parent=span.span_id,
+                            track=span.track, task=task.task_id,
+                        )
+                        if remote.get("sim") is not None:
+                            self.obs.add_sim_trace(
+                                task.task_id, remote["sim"],
+                                start=remote["start"], end=remote["end"],
+                                trace_id=task.trace_id,
+                            )
                 if ok:
                     outcomes.append(self._task_done(task, payload, seconds))
                 else:
@@ -381,6 +535,15 @@ class Supervisor:
             self._emit("worker_crash", worker=worker.worker_id,
                        exitcode=exitcode)
             task = worker.current
+            if self.obs is not None:
+                self.obs.tracer.end(worker.span, ok=False, error="crashed",
+                                    exitcode=exitcode)
+                worker.span = None
+                self.obs.log(
+                    "worker_crash", level="error",
+                    trace_id=task.trace_id if task is not None else None,
+                    worker=worker.worker_id, exitcode=exitcode,
+                )
             worker.close_queues()
             self._workers.pop(worker.worker_id, None)
             if task is not None:
@@ -400,6 +563,14 @@ class Supervisor:
             if worker.deadline is None or now < worker.deadline:
                 continue
             task = worker.current
+            if self.obs is not None:
+                self.obs.tracer.end(worker.span, ok=False, error="hung")
+                worker.span = None
+                self.obs.log(
+                    "worker_hung_killed", level="error",
+                    trace_id=task.trace_id if task is not None else None,
+                    worker=worker.worker_id, timeout=self.task_timeout,
+                )
             self._kill_worker(worker, reason="task-timeout")
             if task is not None:
                 task.attempts += 1
@@ -425,12 +596,34 @@ class Supervisor:
             )
             self._emit("task_dispatch", task=task.task_id, task_kind=task.kind,
                        worker=worker.worker_id, attempt=task.attempts)
+            if self.obs is not None and task.trace_id is not None:
+                self._close_queue_span(task)
+                worker.span = self.obs.tracer.begin(
+                    "execute", trace_id=task.trace_id, parent=task.span_id,
+                    track=f"worker {worker.worker_id}", task=task.task_id,
+                    kind=task.kind, attempt=task.attempts,
+                )
+                message = (task.task_id, task.kind, task.payload, {
+                    "trace": task.trace_id,
+                    "span": worker.span.span_id,
+                    "sim": bool(
+                        self.obs.sim_trace
+                        and task_registry.get_kind(task.kind).traced
+                        is not None
+                    ),
+                })
+            else:
+                message = (task.task_id, task.kind, task.payload)
             try:
-                worker.inbox.put((task.task_id, task.kind, task.payload))
+                worker.inbox.put(message)
             except (OSError, ValueError):
                 # Worker died between reap and dispatch; next poll reaps.
                 worker.current = None
                 worker.deadline = None
+                if self.obs is not None:
+                    self.obs.tracer.end(worker.span, ok=False,
+                                        error="dispatch-failed")
+                    worker.span = None
                 self.pending.appendleft(task)
                 task.attempts -= 1
 

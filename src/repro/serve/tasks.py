@@ -49,15 +49,22 @@ class TaskKind:
     name: str
     run: Callable[[dict], object]
     decode: Callable[[object], object] | None = None
+    #: Optional instrumented twin: ``payload -> (result, sim_trace)``.
+    #: Must return the *identical* result ``run`` would (the PR 3
+    #: bit-identity guarantee makes this sound); the second element is
+    #: the stage-track side channel for the unified Perfetto timeline
+    #: and never reaches the result store.
+    traced: Callable[[dict], tuple] | None = None
 
 
 _REGISTRY: dict[str, TaskKind] = {}
 
 
 def register(name: str, run: Callable[[dict], object],
-             decode: Callable[[object], object] | None = None) -> TaskKind:
+             decode: Callable[[object], object] | None = None,
+             traced: Callable[[dict], tuple] | None = None) -> TaskKind:
     """Register (or replace) a task kind."""
-    kind = TaskKind(name=name, run=run, decode=decode)
+    kind = TaskKind(name=name, run=run, decode=decode, traced=traced)
     _REGISTRY[name] = kind
     return kind
 
@@ -78,6 +85,18 @@ def registered_kinds() -> list[str]:
 def execute(name: str, payload: dict):
     """Run one task in the current process; returns the JSON result."""
     return get_kind(name).run(payload)
+
+
+def execute_traced(name: str, payload: dict) -> tuple:
+    """Run one task with simulator tracing when the kind supports it.
+
+    Returns ``(result, sim_trace_or_None)``; kinds without a traced
+    twin run normally and ship no trace.
+    """
+    kind = get_kind(name)
+    if kind.traced is None:
+        return kind.run(payload), None
+    return kind.traced(payload)
 
 
 def decode_result(name: str, result):
@@ -209,8 +228,42 @@ def _run_workload(payload: dict):
     }
 
 
+def _run_workload_traced(payload: dict) -> tuple:
+    """Instrumented twin of :func:`_run_workload`.
+
+    Runs the same simulation through
+    :func:`repro.obs.runner.run_instrumented` — PR 3 guarantees a
+    telemetry-attached run is bit-identical, so the result dict is
+    byte-for-byte what :func:`_run_workload` returns and dedup stays
+    sound.  The stage-track payload rides the worker's outbox side
+    channel only; it is never stored.
+    """
+    from repro.obs.runner import run_instrumented
+    from repro.obs.svc import sim_trace_data
+    from repro.pipeline.config import config_by_name
+
+    config = config_by_name(payload["config"])
+    run = run_instrumented(
+        payload["workload"],
+        config=config,
+        scale=payload["scale"],
+        seed=payload.get("seed", 0),
+        params=_params_from(payload),
+    )
+    counters = run.worker_counters
+    counters.check_consistency()
+    result = {
+        "workload": payload["workload"],
+        "config": config.name,
+        "cycles": run.cycles,
+        "cpi": counters.cpi,
+        "counters": counters.as_dict(),
+    }
+    return result, sim_trace_data(run)
+
+
 register("cpi-config", _run_cpi_config, decode=tuple)
 register("dse-close", _run_dse_close, decode=_decode_dse_close)
 register("fault-trial", _run_fault_trial, decode=_decode_fault_trial)
 register("fuzz-case", _run_fuzz_case)
-register("workload-run", _run_workload)
+register("workload-run", _run_workload, traced=_run_workload_traced)

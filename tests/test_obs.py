@@ -317,3 +317,264 @@ def test_campaign_profile_accumulates_across_calls():
     table.populate(all_configs()[:1], workers=1, profile=profile)
     table.populate(all_configs()[1:2], workers=1, profile=profile)
     assert profile.report()["completed_tasks"] == 2
+
+
+# ----------------------------------------------------------------------
+# Service-side observability (repro.obs.svc)
+# ----------------------------------------------------------------------
+
+import io
+import re
+
+from repro.obs import (
+    JobEventStream,
+    JsonLogger,
+    ServiceMetrics,
+    ServiceObs,
+    ServiceTracer,
+    campaign_trace,
+)
+from repro.obs.svc import stats_metrics
+
+
+class _TickClock:
+    """Deterministic monotonic clock: +1.0 per call."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+class TestServiceTracer:
+    def test_begin_end_records_window_and_ids(self):
+        tracer = ServiceTracer(clock=_TickClock())
+        span = tracer.begin("job", trace_id="job-1", track="jobs", kind="k")
+        assert span.end is None and span.seconds is None
+        tracer.end(span, state="done")
+        assert span.seconds == 1.0
+        assert span.attrs == {"kind": "k", "state": "done"}
+        assert span.trace_id == "job-1" and span.span_id == "s000001"
+        tracer.end(span, state="again")   # idempotent: first end wins
+        assert span.attrs["state"] == "done"
+        tracer.end(None)                  # None is a no-op
+
+    def test_record_and_by_name(self):
+        tracer = ServiceTracer(clock=_TickClock())
+        parent = tracer.begin("task", trace_id="t")
+        tracer.record("worker_run", 1.5, 2.5, trace_id="t",
+                      parent=parent.span_id)
+        tracer.end(parent)
+        [run] = tracer.by_name("worker_run")
+        assert run.seconds == 1.0 and run.parent_id == parent.span_id
+        assert tracer.summary() == {"task": 1, "worker_run": 1}
+
+    def test_check_nesting_flags_problems(self):
+        tracer = ServiceTracer(clock=_TickClock())
+        open_span = tracer.begin("never_ended", trace_id="t")
+        parent = tracer.record("parent", 10.0, 11.0, trace_id="t")
+        tracer.record("escapee", 10.5, 12.0, trace_id="t",
+                      parent=parent.span_id)
+        tracer.record("orphan", 0.0, 1.0, trace_id="t", parent="s999999")
+        problems = tracer.check_nesting()
+        assert len(problems) == 3
+        assert any("never ended" in p for p in problems)
+        assert any("escapes parent" in p for p in problems)
+        assert any("unknown" in p for p in problems)
+        tracer.end(open_span)
+
+    def test_span_limit_counts_drops(self):
+        tracer = ServiceTracer(clock=_TickClock(), limit=2)
+        for _ in range(5):
+            tracer.begin("x", trace_id="t")
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+
+
+class TestServiceMetrics:
+    def test_counters_accumulate_per_label_set(self):
+        metrics = ServiceMetrics()
+        metrics.inc("tasks_total", kind="a")
+        metrics.inc("tasks_total", 2, kind="a")
+        metrics.inc("tasks_total", kind="b")
+        snap = metrics.snapshot()["counters"]
+        assert snap['tasks_total{kind="a"}'] == 3
+        assert snap['tasks_total{kind="b"}'] == 1
+
+    def test_histogram_buckets_cumulative_in_exposition(self):
+        metrics = ServiceMetrics()
+        for value in (0.0005, 0.003, 0.003, 99.0):
+            metrics.observe("lat_seconds", value)
+        text = metrics.prometheus_text()
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'lat_seconds_bucket{le="0.001"} 1' in text
+        assert 'lat_seconds_bucket{le="0.005"} 3' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 4' in text
+        assert "lat_seconds_count 4" in text
+
+    def test_prometheus_lines_all_parse(self):
+        metrics = ServiceMetrics()
+        metrics.inc("c_total", 3, label='tricky"quote')
+        metrics.gauge("g", 1.5)
+        metrics.observe("h_seconds", 0.2, kind="x")
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? "
+            r"(-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|NaN)$"
+        )
+        for line in metrics.prometheus_text().splitlines():
+            assert line.startswith("# TYPE ") or sample.match(line), line
+
+    def test_snapshot_is_json_ready(self):
+        metrics = ServiceMetrics()
+        metrics.inc("c_total")
+        metrics.observe("h_seconds", 0.5)
+        decoded = json.loads(json.dumps(metrics.snapshot()))
+        assert decoded["counters"]["c_total"] == 1
+        assert decoded["histograms"]["h_seconds"]["count"] == 1
+
+
+def test_stats_metrics_renders_service_and_jit_families():
+    stats = {
+        "jobs": {"done": 2},
+        "supervisor": {"tasks_done": 5, "worker_crashes": 1},
+        "admission": {"admitted_jobs": 2, "rejected_jobs": 1,
+                      "rejections": {"rate-limited": 1},
+                      "queued_jobs": 0, "backlog_tasks": 0},
+        "store": {"rows": 4, "hits": 3, "misses": 4, "puts": 4,
+                  "duplicate_puts": 0, "max_executions": 1,
+                  "executions_total": 4, "kinds": {"workload-run": 4}},
+        "serial": False, "pending_tasks": 0, "in_flight": 0,
+    }
+    jit = {"hits": 7, "misses": 2, "compile_seconds": 0.25, "entries": 2,
+           "block_exits": {"halt": 3, "budget": 1}}
+    text = stats_metrics(stats, jit=jit).prometheus_text()
+    assert "repro_serve_tasks_done_total 5" in text
+    assert "repro_serve_worker_crashes_total 1" in text
+    assert 'repro_serve_rejections_total{reason="rate-limited"} 1' in text
+    assert "repro_serve_store_rows 4" in text
+    assert "repro_serve_store_executions_total 4" in text
+    assert 'repro_serve_store_kind_rows{kind="workload-run"} 4' in text
+    assert "repro_jit_cache_hits_total 7" in text
+    assert "repro_jit_compile_seconds_total 0.25" in text
+    assert 'repro_jit_block_exits_total{reason="halt"} 3' in text
+    # Family names never repeat across TYPE sections (exposition rule).
+    families = [line.split()[2] for line in text.splitlines()
+                if line.startswith("# TYPE ")]
+    assert len(families) == len(set(families))
+
+
+class TestJsonLogger:
+    def test_correlation_ids_and_json_lines(self):
+        sink = io.StringIO()
+        logger = JsonLogger(sink)
+        logger.log("task_retry", level="warning", trace_id="job-1",
+                   span_id="s000002", attempt=2)
+        logger.log("plain_event")
+        lines = sink.getvalue().splitlines()
+        assert logger.lines == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "task_retry"
+        assert first["level"] == "warning"
+        assert first["trace_id"] == "job-1"
+        assert first["span_id"] == "s000002"
+        assert first["attempt"] == 2 and "ts" in first
+        assert "trace_id" not in json.loads(lines[1])
+
+
+class TestJobEventStream:
+    def test_bounded_buffer_drops_oldest(self):
+        stream = JobEventStream(max_buffer=4)
+        for i in range(10):
+            stream.push({"i": i})
+        assert stream.dropped == 6
+        events = stream.pop_all()
+        assert [e["i"] for e in events] == [6, 7, 8, 9]
+        assert len(stream) == 0 and stream.pop_all() == []
+
+
+def test_campaign_trace_unifies_service_and_sim_tracks():
+    obs = ServiceObs(sim_trace=True)
+    tracer = obs.tracer
+    job = tracer.record("job", 0.0, 10.0, trace_id="job-1", track="jobs")
+    tracer.record("task", 1.0, 9.0, trace_id="job-1",
+                  parent=job.span_id, track="task job-1/0")
+    execute = tracer.record("execute", 2.0, 8.0, trace_id="job-1",
+                            track="worker 0", kind="workload-run")
+    obs.add_sim_trace(
+        "job-1/0",
+        {"cycles": 10,
+         "pes": {"worker": {"stages": ["T", "X"],
+                            "intervals": [[[0, 4, "add", 0, 0]],
+                                          [[5, 9, "mul", 1, 1]]]}}},
+        start=execute.start, end=execute.end, trace_id="job-1",
+    )
+    trace = json.loads(json.dumps(campaign_trace(obs)))
+    events = trace["traceEvents"]
+    service = [e for e in events if e["ph"] == "X" and e["cat"] == "service"]
+    sim = [e for e in events if e["ph"] == "X" and e["cat"] == "pipeline"]
+    assert len(service) == 3 and len(sim) == 2
+    # Service spans all live in process 1; sim tracks in their own.
+    assert {e["pid"] for e in service} == {1}
+    assert {e["pid"] for e in sim} == {2}
+    names = {e["args"]["name"] for e in events if e["ph"] == "M"
+             and e["name"] == "thread_name"}
+    assert "jobs" in names and "worker 0" in names
+    assert "worker T" in names and "worker X" in names
+    # Cycle timestamps scale into the execute span's wall window.
+    execute_event = next(e for e in service if e["name"] == "execute")
+    window = range(execute_event["ts"],
+                   execute_event["ts"] + execute_event["dur"] + 1)
+    for event in sim:
+        assert event["ts"] in window
+        assert event["ts"] + event["dur"] in window
+    assert event["args"]["cycle"] == 5
+    assert trace["otherData"]["sim_tasks"] == 1
+
+
+def test_campaign_trace_without_sim_tracks():
+    obs = ServiceObs()
+    obs.tracer.record("job", 0.0, 1.0, trace_id="j", track="jobs")
+    trace = campaign_trace(obs, include_sim=False)
+    assert all(e["cat"] != "pipeline" for e in trace["traceEvents"]
+               if e["ph"] == "X")
+
+
+def test_metrics_registry_exposes_jit_cache_section(stream_run):
+    snapshot = stream_run.metrics.snapshot()
+    jit = snapshot["jit"]
+    assert set(jit) >= {"hits", "misses", "compile_seconds", "entries",
+                        "block_exits"}
+    assert json.loads(json.dumps(jit)) == jit
+
+
+def test_jit_block_exit_reasons_counted():
+    from repro.jit.cache import block_exit_counts, clear_cache
+    from repro.params import DEFAULT_PARAMS
+
+    clear_cache()
+    try:
+        # A solo PE running to halt exits its generated block once.
+        pe = PipelinedPE(config_by_name("T|D|X1|X2"), name="t",
+                         backend="jit")
+        assemble(LOOP).configure(pe)
+        pe.run_cycles(500)
+        assert pe.halted
+        assert block_exit_counts() == {"halt": 1}
+        # A fabric workload exits blocks on queue activity instead.
+        run_workload(
+            "gcd",
+            make_pe=lambda n: PipelinedPE(
+                config_by_name("TDX"), DEFAULT_PARAMS, name=n,
+                backend="jit"
+            ),
+            scale=4, seed=0,
+        )
+        exits = block_exit_counts()
+        assert exits["halt"] == 1 and exits.get("enqueue", 0) > 0
+        known = {"refused", "halt", "stall", "budget", "dequeue",
+                 "enqueue", "other", "error"}
+        assert set(exits) <= known
+    finally:
+        clear_cache()

@@ -561,3 +561,240 @@ def test_registered_kinds_cover_the_campaign_clients():
                      "workload-run", "chaos-echo", "chaos-crash-once",
                      "chaos-hang-once", "chaos-always-crash", "chaos-fail"):
         assert expected in kinds
+
+
+# ----------------------------------------------------------------------
+# Service observability: spans, /metrics exposition, SSE streams
+# ----------------------------------------------------------------------
+
+import re
+
+from repro.obs import ServiceObs
+
+
+class TestServiceObservability:
+    def test_spans_cover_the_job_lifecycle(self):
+        obs = ServiceObs()
+        with CampaignService(None, workers=1, obs=obs) as service:
+            job = service.submit(
+                "chaos-echo", [{"value": 1}, {"value": 2}, {"value": 1}]
+            )
+            asyncio.run(service.wait(job, timeout=60.0))
+        summary = obs.tracer.summary()
+        assert summary["job"] == 1 and summary["admission"] == 1
+        # Two distinct fingerprints execute; the third slot shares one.
+        assert summary["task"] == 2
+        assert summary["queue_wait"] == 2
+        assert summary["execute"] == 2
+        assert summary["store_commit"] == 2
+        assert obs.tracer.check_nesting() == []
+        # Every span belongs to the job's trace.
+        assert {s.trace_id for s in obs.tracer.spans} == {job.job_id}
+        # Worker-side windows landed on the parent timeline.
+        for run_span in obs.tracer.by_name("worker_run"):
+            assert run_span.seconds >= 0.0
+
+    def test_store_hit_spans_on_replay(self):
+        obs = ServiceObs()
+        with CampaignService(None, workers=1, obs=obs) as service:
+            client = InProcessClient(service)
+            client.map("chaos-echo", [{"value": 9}])
+            client.map("chaos-echo", [{"value": 9}])   # replayed from store
+        assert len(obs.tracer.by_name("store_hit")) == 1
+        assert len(obs.tracer.by_name("execute")) == 1
+
+    def test_queue_wait_and_task_latency_histograms(self):
+        obs = ServiceObs()
+        with CampaignService(None, workers=1, obs=obs) as service:
+            _run(service, "chaos-echo", [{"value": i} for i in range(3)])
+        snap = obs.metrics.snapshot()["histograms"]
+        assert snap["repro_serve_queue_wait_seconds"]["count"] == 3
+        assert snap['repro_serve_task_seconds{kind="chaos-echo"}'][
+            "count"] == 3
+
+    def test_retry_after_histogram_and_reject_log(self):
+        import io as _io
+
+        from repro.obs import JsonLogger
+
+        sink = _io.StringIO()
+        obs = ServiceObs(logger=JsonLogger(sink))
+        # Nonzero rate: the retry_after hint is finite and histogrammed
+        # (rate=0 would hint "inf", which is deliberately not observed).
+        tiny = AdmissionController(rate=0.001, burst=1.0)
+        with CampaignService(None, workers=1, admission=tiny,
+                             obs=obs) as service:
+            service.submit("chaos-echo", [{"value": 1}])
+            with pytest.raises(AdmissionError):
+                service.submit("chaos-echo", [{"value": 2}])
+        histograms = obs.metrics.snapshot()["histograms"]
+        assert "repro_serve_retry_after_seconds" in histograms
+        records = [json.loads(line) for line in
+                   sink.getvalue().splitlines()]
+        [reject] = [r for r in records if r["event"] == "admission_reject"]
+        assert reject["level"] == "warning"
+        assert reject["reason"] == "rate-limited"
+        # The rejected job's span closed in the rejected state.
+        rejected = [s for s in obs.tracer.by_name("job")
+                    if s.attrs.get("state") == "rejected"]
+        assert len(rejected) == 1
+
+    def test_quarantine_forensics_carry_trace_and_metrics(self):
+        obs = ServiceObs()
+        with CampaignService(
+            None, workers=1, max_task_failures=2,
+            backoff_base=0.01, backoff_cap=0.05, obs=obs,
+        ) as service:
+            job = service.submit("chaos-always-crash", [{"exit_code": 7}])
+            with pytest.raises(CampaignError) as err:
+                asyncio.run(service.wait(job, timeout=60.0))
+        [report] = err.value.quarantine_reports
+        assert report["trace"]["trace_id"] == job.job_id
+        assert report["trace"]["span_id"]
+        assert report["supervisor_metrics"]["tasks_quarantined"] == 1
+        counters = report["service_metrics"]["counters"]
+        assert json.loads(json.dumps(report))   # forensics stay JSON-pure
+        # The retry backoffs were spanned on the task's track.
+        assert len(obs.tracer.by_name("backoff")) == 1
+
+    def test_logs_carry_correlation_ids(self):
+        import io as _io
+
+        from repro.obs import JsonLogger
+
+        sink = _io.StringIO()
+        obs = ServiceObs(logger=JsonLogger(sink))
+        with CampaignService(None, workers=1, obs=obs) as service:
+            job = service.submit("chaos-echo", [{"value": 1}])
+            asyncio.run(service.wait(job, timeout=60.0))
+        records = [json.loads(line) for line in sink.getvalue().splitlines()]
+        events = [r["event"] for r in records]
+        assert "job_admitted" in events and "job_done" in events
+        assert "task_done" in events
+        for record in records:
+            if record["event"].startswith(("job_", "task_")):
+                assert record["trace_id"] == job.job_id
+
+
+class TestMetricsEndpoint:
+    def test_exposition_without_obs(self):
+        with CampaignService(None, workers=1) as service:
+            _run(service, "chaos-echo", [{"value": 1}])
+            text = service.metrics_text()
+        assert "# TYPE repro_serve_tasks_done_total counter" in text
+        assert "repro_serve_tasks_done_total 1" in text
+        assert "repro_serve_store_rows 1" in text
+        assert "repro_jit_cache_hits_total" in text
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? "
+            r"(-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|NaN)$"
+        )
+        for line in text.splitlines():
+            assert line.startswith("# TYPE ") or sample.match(line), line
+
+    def test_exposition_gains_histograms_with_obs(self):
+        obs = ServiceObs()
+        with CampaignService(None, workers=1, obs=obs) as service:
+            _run(service, "chaos-echo", [{"value": 1}])
+            text = service.metrics_text()
+        assert 'repro_serve_queue_wait_seconds_bucket{le="+Inf"} 1' in text
+        assert 'repro_serve_task_seconds_bucket{kind="chaos-echo"' in text
+        # One exposition: each family name appears in exactly one TYPE.
+        families = [line.split()[2] for line in text.splitlines()
+                    if line.startswith("# TYPE ")]
+        assert len(families) == len(set(families))
+
+    def test_stats_surface_store_audit(self):
+        with CampaignService(None, workers=1) as service:
+            _run(service, "chaos-echo", [{"value": 1}, {"value": 1}])
+            stats = service.stats()
+        store = stats["store"]
+        assert store["rows"] == 1
+        assert store["executions_total"] == 1
+        assert store["max_executions"] == 1
+        assert store["seconds_total"] >= 0.0
+        assert "obs" not in stats   # no obs attached, no obs section
+
+    def test_stats_obs_section_when_attached(self):
+        obs = ServiceObs()
+        with CampaignService(None, workers=1, obs=obs) as service:
+            _run(service, "chaos-echo", [{"value": 1}])
+            stats = service.stats()
+        assert stats["obs"]["spans"] == len(obs.tracer.spans)
+        assert stats["obs"]["spans_dropped"] == 0
+
+
+class TestSseStreams:
+    def test_publish_order_snapshot_to_terminal(self):
+        with CampaignService(None, workers=1) as service:
+            job = service.submit("chaos-echo", [{"value": i}
+                                                for i in range(3)])
+            stream = job.subscribe()
+            asyncio.run(service.wait(job, timeout=60.0))
+            events = stream.pop_all()
+            job.unsubscribe(stream)
+        names = [e["event"] for e in events]
+        assert names[0] == "active"
+        assert names[-1] == "done"
+        assert names.count("progress") == 3
+        resolved = [e["resolved"] for e in events]
+        assert resolved == sorted(resolved)       # progress is monotone
+        assert events[-1]["resolved"] == events[-1]["total"] == 3
+
+    def test_unsubscribed_job_pays_nothing(self):
+        with CampaignService(None, workers=1) as service:
+            job = service.submit("chaos-echo", [{"value": 1}])
+            asyncio.run(service.wait(job, timeout=60.0))
+        assert job._subscribers == []
+
+    def test_slow_consumer_drops_oldest_not_newest(self):
+        with CampaignService(None, workers=1) as service:
+            job = service.submit("chaos-echo", [{"value": i}
+                                                for i in range(8)])
+            stream = job.subscribe(max_buffer=2)
+            asyncio.run(service.wait(job, timeout=60.0))
+            events = stream.pop_all()
+            job.unsubscribe(stream)
+        # 10 frames published (active + 8 progress + done); 2 kept.
+        assert stream.dropped == 8
+        assert len(events) == 2
+        assert events[-1]["event"] == "done"   # the terminal frame survives
+
+    def test_http_sse_stream_lifecycle(self, http_service):
+        job_id = http_service.submit(
+            "chaos-echo", [{"value": i} for i in range(4)]
+        )
+        frames = list(http_service.events(job_id, timeout=60.0))
+        names = [f["event"] for f in frames]
+        assert names[0] == "snapshot"
+        assert names[-1] == "done"
+        resolved = [f["resolved"] for f in frames]
+        assert resolved == sorted(resolved)
+        assert frames[-1]["resolved"] == frames[-1]["total"] == 4
+
+    def test_http_sse_on_finished_job_closes_immediately(self, http_service):
+        job_id = http_service.submit("chaos-echo", [{"value": 1}])
+        http_service.wait(job_id, timeout=30.0)
+        frames = list(http_service.events(job_id, timeout=30.0))
+        assert [f["event"] for f in frames] == ["snapshot", "done"]
+
+    def test_http_sse_failed_job_terminates_with_failed(self, http_service):
+        job_id = http_service.submit("chaos-fail", [{"message": "nope"}])
+        frames = list(http_service.events(job_id, timeout=60.0))
+        assert frames[-1]["event"] == "failed"
+
+    def test_http_sse_unknown_job_is_404(self, http_service):
+        import urllib.error
+        import urllib.request
+
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(
+                http_service.base_url + "/jobs/job-9999/events", timeout=10.0
+            )
+        assert err.value.code == 404
+
+    def test_http_metrics_exposition(self, http_service):
+        http_service.map("chaos-echo", [{"value": 1}], timeout=30.0)
+        text = http_service.metrics_text()
+        assert "# TYPE repro_serve_tasks_done_total counter" in text
+        assert "repro_serve_store_rows 1" in text
