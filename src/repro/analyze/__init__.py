@@ -10,17 +10,40 @@ Three layers:
 * :mod:`repro.analyze.fabric` — system-level rules over the channel
   wiring (tag mismatches through ports, capacity-cycle deadlock risk).
 
-``python -m repro.analyze`` is the command-line front end;
-:mod:`repro.analyze.crossval` ties analyzer verdicts to fuzzer runs.
+A fourth layer proves rather than lints:
+
+* :mod:`repro.analyze.check` — a bounded explicit-state equivalence
+  checker exploring every environment schedule at small queue depths,
+  proving pipelined == single-cycle retirement per program and
+  configuration or emitting a replayable counterexample schedule
+  (:mod:`repro.analyze.witness`, encoded via
+  :mod:`repro.analyze.encode`).
+
+``python -m repro.analyze`` is the command-line front end (``--check``
+selects the checker); :mod:`repro.analyze.crossval` ties analyzer
+verdicts to fuzzer runs and checker verdicts to harness replays.
 """
 
 from repro.analyze.abstract import Reachability, explore
+from repro.analyze.check import (
+    CheckBounds,
+    CheckReport,
+    ConfigVerdict,
+    check_case,
+    check_program,
+    checkable_workloads,
+    checker_oracle,
+    confirm_speculation_window,
+)
 from repro.analyze.crossval import (
+    crossval_case,
     reachable_slots,
     retired_outside,
     stream_tag_sets,
     unreachable_retirements,
 )
+from repro.analyze.encode import node_digest, node_key, roundtrips
+from repro.analyze.witness import Witness, replay_witness, schedule_step
 from repro.analyze.fabric import analyze_system
 from repro.analyze.findings import (
     Finding,
@@ -34,18 +57,33 @@ from repro.analyze.findings import (
 from repro.analyze.lints import analyze_program
 
 __all__ = [
+    "CheckBounds",
+    "CheckReport",
+    "ConfigVerdict",
     "Finding",
     "Reachability",
     "Severity",
+    "Witness",
     "analyze_program",
     "analyze_system",
+    "check_case",
+    "check_program",
+    "checkable_workloads",
+    "checker_oracle",
+    "confirm_speculation_window",
     "count_by_severity",
+    "crossval_case",
     "explore",
+    "node_digest",
+    "node_key",
     "reachable_slots",
     "render_json",
+    "replay_witness",
     "retired_outside",
     "render_sarif",
     "render_text",
+    "roundtrips",
+    "schedule_step",
     "stream_tag_sets",
     "unreachable_retirements",
     "worst_severity",

@@ -116,6 +116,107 @@ def _fuzz_findings(count: int, seed: int) -> list[Finding]:
     return findings
 
 
+def _report_findings(report, subject: str) -> list[Finding]:
+    """Fold one CheckReport into findings (problems only; proofs are
+    silent so ``--fail-on note`` still passes on a fully proved run)."""
+    findings = []
+    if report.verdict == "diverged":
+        for verdict in report.divergences:
+            findings.append(Finding(
+                rule="check-divergence", severity=Severity.ERROR,
+                message=f"{verdict.config}: {verdict.detail} "
+                        f"[witness: {verdict.witness.cycles()} cycles, "
+                        f"capacity {report.bounds.queue_capacity}]",
+                pe=subject,
+            ))
+    elif report.verdict in ("inconclusive", "not-checkable"):
+        findings.append(Finding(
+            rule=f"check-{report.verdict}", severity=Severity.NOTE,
+            message=report.detail or "state budget exhausted", pe=subject,
+        ))
+    elif report.verdict in ("golden-nondet", "golden-stuck"):
+        findings.append(Finding(
+            rule=f"check-{report.verdict}", severity=Severity.WARNING,
+            message=report.detail, pe=subject,
+        ))
+    return findings
+
+
+def _check_findings(args) -> list[Finding]:
+    """The ``--check`` mode: bounded equivalence proofs + the
+    bidirectional checker-vs-fuzzer cross-validation gate."""
+    from repro.analyze.check import (
+        CheckBounds,
+        check_case,
+        check_program,
+        checkable_workloads,
+    )
+    from repro.analyze.crossval import crossval_case
+    from repro.verify.generator import generate_case
+
+    bounds = CheckBounds(queue_capacity=args.check_depth,
+                         max_states=args.check_states)
+    findings: list[Finding] = []
+
+    wanted = args.workloads
+    if args.smoke:
+        wanted = ["gcd", "stream"]      # the sub-minute CI pair
+    if wanted is not None:
+        available = {name: (program, streams, params)
+                     for name, program, streams, params
+                     in checkable_workloads()}
+        names = list(available) if not wanted else wanted
+        for name in names:
+            if name not in available:
+                findings.append(Finding(
+                    rule="check-not-checkable", severity=Severity.NOTE,
+                    message=f"workload {name!r} has no bounded checker "
+                            f"instance (available: {sorted(available)})",
+                    pe=name,
+                ))
+                continue
+            program, streams, params = available[name]
+            report = check_program(program, streams, params,
+                                   bounds=bounds, name=name)
+            print(f"check: workload {name}: {report.verdict} "
+                  f"({report.states_total} states)", file=sys.stderr)
+            findings += _report_findings(report, f"workload/{name}")
+
+    corpus_cases: list[dict] = []
+    if args.corpus:
+        paths = sorted(Path(args.corpus).glob("*.json"))
+        if not paths:
+            raise ReproError(f"no corpus cases (*.json) under "
+                             f"{args.corpus!r}")
+        corpus_cases = [json.loads(path.read_text()) for path in paths]
+    for case in corpus_cases:
+        name = case.get("name", "case")
+        report = check_case(case, DEFAULT_PARAMS, bounds=bounds)
+        print(f"check: corpus {name}: {report.verdict} "
+              f"({report.states_total} states)", file=sys.stderr)
+        findings += _report_findings(report, f"corpus/{name}")
+
+    for index in range(args.fuzz):
+        case = generate_case(args.seed + index)
+        report = check_case(case, DEFAULT_PARAMS, bounds=bounds)
+        print(f"check: fuzz {case['name']}: {report.verdict} "
+              f"({report.states_total} states)", file=sys.stderr)
+        findings += _report_findings(report, f"fuzz/{case['name']}")
+
+    # Cross-validation gate: fuzzer and checker must agree on the
+    # corpus (one case suffices for the smoke battery's time budget —
+    # the full matrix runs in the test suite).
+    gate_cases = corpus_cases[:1] if args.smoke else corpus_cases
+    for case in gate_cases:
+        verdict = crossval_case(case, DEFAULT_PARAMS, bounds=bounds)
+        for problem in verdict["problems"]:
+            findings.append(Finding(
+                rule="check-crossval", severity=Severity.ERROR,
+                message=problem, pe=f"corpus/{case.get('name')}",
+            ))
+    return findings
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analyze",
@@ -134,7 +235,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0,
                         help="base seed for --fuzz (default 0)")
     parser.add_argument("--smoke", action="store_true",
-                        help="CI battery: all workloads + 25 fuzz cases")
+                        help="CI battery: all workloads + 25 fuzz cases "
+                             "(with --check: corpus + gcd + stream proofs)")
+    parser.add_argument("--check", action="store_true",
+                        help="run the bounded equivalence checker instead "
+                             "of the lint/crossval pass")
+    parser.add_argument("--check-depth", type=int, default=2,
+                        metavar="CAP",
+                        help="queue capacity bound for --check (default 2)")
+    parser.add_argument("--check-states", type=int, default=20_000,
+                        metavar="N",
+                        help="state budget per exploration for --check "
+                             "(default 20000)")
     parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text")
     parser.add_argument("--fail-on", default="warning",
@@ -144,10 +256,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.smoke:
-        if args.workloads is None:
-            args.workloads = []
-        if not args.fuzz:
-            args.fuzz = 25
+        if args.check:
+            if not args.corpus:
+                args.corpus = "tests/corpus"
+        else:
+            if args.workloads is None:
+                args.workloads = []
+            if not args.fuzz:
+                args.fuzz = 25
     if (not args.files and args.workloads is None and not args.corpus
             and not args.fuzz):
         parser.error("nothing to analyze: give files, --workloads, "
@@ -155,17 +271,23 @@ def main(argv: list[str] | None = None) -> int:
 
     findings: list[Finding] = []
     try:
-        for path in args.files:
-            program = assemble_file(path)
-            findings += analyze_program(
-                program, DEFAULT_PARAMS,
-                pe=program.name or Path(path).name)
-        if args.workloads is not None:
-            findings += _workload_findings(args.workloads)
-        if args.corpus:
-            findings += _corpus_findings(args.corpus)
-        if args.fuzz:
-            findings += _fuzz_findings(args.fuzz, args.seed)
+        if args.check:
+            if args.files:
+                parser.error("--check works on --workloads/--corpus/"
+                             "--fuzz, not assembly files")
+            findings += _check_findings(args)
+        else:
+            for path in args.files:
+                program = assemble_file(path)
+                findings += analyze_program(
+                    program, DEFAULT_PARAMS,
+                    pe=program.name or Path(path).name)
+            if args.workloads is not None:
+                findings += _workload_findings(args.workloads)
+            if args.corpus:
+                findings += _corpus_findings(args.corpus)
+            if args.fuzz:
+                findings += _fuzz_findings(args.fuzz, args.seed)
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -55,6 +55,71 @@ def retired_outside(reachable: frozenset[int], counters) -> list[str]:
     ]
 
 
+def crossval_case(case: dict, params: ArchParams = DEFAULT_PARAMS,
+                  bounds=None) -> dict:
+    """Bidirectional fuzzer <-> checker agreement on one case.
+
+    The fuzzer's canonical environment schedule (greedy top-up, drain
+    every cycle) is one point of the schedule space the bounded checker
+    explores exhaustively, so — at the same queue capacity — the two
+    must agree in both directions:
+
+    * a model divergence the fuzz harness sees must make the checker
+      report ``diverged`` (it explores a superset of schedules);
+    * a checker witness must reproduce when replayed through the fuzz
+      harness (:func:`repro.verify.harness.check_witness`), which
+      implements the run loop independently.
+
+    Only model-divergence kinds (``state``/``hang``/``crash``) are
+    compared: round-trip, analysis, and fast-vs-reference findings have
+    no checker counterpart.  Returns a JSON-able dict whose ``agreed``
+    is False only on a genuine cross-validation failure (one tool sees
+    what the other provably should and does not); a checker that runs
+    out of state budget is ``inconclusive``, not a disagreement.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.analyze.check import DEFAULT_BOUNDS
+    from repro.analyze.check import check_case as checker_case
+    from repro.verify.harness import check_case as fuzz_case
+    from repro.verify.harness import check_witness, real_divergences
+
+    bounds = bounds or DEFAULT_BOUNDS
+    cparams = dc_replace(params, queue_capacity=bounds.queue_capacity)
+    fuzz = fuzz_case(case, cparams, ref_configs=0)
+    model_kinds = ("state", "hang", "crash")
+    fuzz_model = [d for d in real_divergences(fuzz)
+                  if d["kind"] in model_kinds]
+    report = checker_case(case, params, bounds=bounds)
+
+    problems = []
+    if fuzz_model and report.verdict == "proved":
+        seen = ", ".join(sorted({d["config"] or "?" for d in fuzz_model}))
+        problems.append(
+            f"fuzzer saw a model divergence ({seen}) but the checker "
+            f"proved equivalence at capacity {bounds.queue_capacity} — "
+            "the canonical schedule is in the checker's explored set, so "
+            "one of the two is wrong"
+        )
+    if report.verdict == "diverged":
+        for verdict in report.divergences:
+            replay = check_witness(case, verdict.witness, params)
+            if not replay["reproduced"]:
+                problems.append(
+                    f"checker witness for {verdict.config} "
+                    f"({verdict.witness.kind}) does not reproduce through "
+                    "the fuzz harness replay"
+                )
+    return {
+        "name": case.get("name"),
+        "queue_capacity": bounds.queue_capacity,
+        "fuzzer_divergences": len(fuzz_model),
+        "checker_verdict": report.verdict,
+        "problems": problems,
+        "agreed": not problems,
+    }
+
+
 def unreachable_retirements(
     program: Program,
     counters,

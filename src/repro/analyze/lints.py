@@ -47,6 +47,7 @@ from repro.analyze.abstract import (
     Reachability,
     TagSets,
     explore,
+    fire_successors,
     queue_conditions,
     tags_feasible,
 )
@@ -290,10 +291,16 @@ def _shadow_overlap_findings(
 # Speculation-window rule
 # ----------------------------------------------------------------------
 
-def _speculation_findings(
+#: How many pure issues the window closure follows: a speculation lives
+#: until its owner retires, at most the deepest pipeline's depth (4
+#: stages, ``T|D|X1|X2``) after issue.
+_SPEC_WINDOW_ISSUES = 4
+
+
+def _speculation_pair_set(
     instructions: list[Instruction], reach: Reachability,
-    params: ArchParams, input_tags: TagSets | None, pe: str | None,
-) -> list[Finding]:
+    params: ArchParams, input_tags: TagSets | None,
+) -> set[tuple[int, int]]:
     feasible = [
         ins.valid and tags_feasible(ins, input_tags, params.num_tags)
         for ins in instructions
@@ -304,33 +311,95 @@ def _speculation_findings(
         if not ins.dp.writes_predicate:
             continue
         written = 1 << ins.dp.dst.index
+        # While the write is speculative (+P), the visible predicate
+        # state is the *predicted* one: the post-write state when the
+        # prediction is right, its complement in the written bit when it
+        # is wrong (the window still exists — it just ends in a flush).
+        window_states = set()
         for state in states:
+            window_states.add(state)
+            window_states.add(state ^ written)
+        # The window spans several cycles; instructions without
+        # pre-retire side effects still issue during it (only side
+        # effects are forbidden) and their issue-time updates and
+        # predicate writes move the visible state.  Close the window
+        # set over those pure issues, bounded by the deepest pipeline's
+        # speculation lifetime.
+        frontier = set(window_states)
+        for _ in range(_SPEC_WINDOW_ISSUES):
+            nxt = set()
+            for state in frontier:
+                for slot, candidate in enumerate(instructions):
+                    if not feasible[slot]:
+                        continue
+                    if not candidate.trigger.predicates_match(state):
+                        continue
+                    if not candidate.dp.has_side_effects_before_retire:
+                        for succ in fire_successors(state, candidate):
+                            if succ not in window_states:
+                                nxt.add(succ)
+                    if not queue_conditions(candidate):
+                        break
+            window_states |= nxt
+            frontier = nxt
+            if not frontier:
+                break
+        for state in sorted(window_states):
             for slot, candidate in enumerate(instructions):
                 if not feasible[slot]:
                     continue
                 if not candidate.trigger.predicates_match(state):
                     continue
-                if (candidate.dp.has_side_effects_before_retire
-                        and candidate.trigger.watched_predicates & written):
-                    # The dequeue's own eligibility rides on the
-                    # just-written bit: under +P it issues on a predicted
-                    # value and must therefore wait out the speculation.
+                if candidate.dp.has_side_effects_before_retire:
+                    # The pipeline forbids *every* pre-retire side effect
+                    # while *any* speculation is outstanding, whether or
+                    # not the candidate watches the written bit
+                    # (``forbid = bool(self._specs)`` in the trigger
+                    # stage) — the bounded checker's observed forbidden
+                    # cycles pinned this down.
                     pairs.add((writer, slot))
                 if not queue_conditions(candidate):
                     break
+    return pairs
+
+
+def _speculation_findings(
+    instructions: list[Instruction], reach: Reachability,
+    params: ArchParams, input_tags: TagSets | None, pe: str | None,
+) -> list[Finding]:
+    pairs = _speculation_pair_set(instructions, reach, params, input_tags)
     findings = []
     for writer, slot in sorted(pairs):
         ins = instructions[slot]
         findings.append(_finding(
             "speculation-window", Severity.NOTE,
-            f"dequeues {', '.join(f'%i{q}' for q in ins.dp.deq)} right "
-            f"after slot {writer}'s datapath write to "
-            f"%p{instructions[writer].dp.dst.index}; under +P the issue "
-            "is held until the speculation resolves (forbidden cycles, "
-            "Section 5.2)",
+            f"dequeues {', '.join(f'%i{q}' for q in ins.dp.deq)} while "
+            f"slot {writer}'s datapath write to "
+            f"%p{instructions[writer].dp.dst.index} may still be "
+            "speculative; under +P the issue is held until the "
+            "speculation resolves (forbidden cycles, Section 5.2)",
             pe, slot, ins,
         ))
     return findings
+
+
+def speculation_pairs(
+    program: Program,
+    params: ArchParams = DEFAULT_PARAMS,
+    input_tags: TagSets | None = None,
+) -> set[tuple[int, int]]:
+    """The speculation-window lint's raw ``(writer, held slot)`` pairs.
+
+    This is the static over-approximation the bounded checker's observed
+    forbidden cycles are validated against
+    (:func:`repro.analyze.check.confirm_speculation_window`): every pair
+    the checker *observes* at runtime must appear here, or the lint has
+    a false negative.
+    """
+    reach = explore(program.instructions, program.initial_predicates,
+                    params, input_tags)
+    return _speculation_pair_set(program.instructions, reach, params,
+                                 input_tags)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,84 @@
+"""Counterexample traces for the bounded equivalence checker.
+
+A :class:`Witness` is one concrete environment schedule under which a
+pipelined configuration diverges from the golden model: for each cycle,
+how many tokens the environment delivered to each input queue before
+the step and how many entries it drained from each output queue after
+the commit.  Everything else about the run is deterministic, so the
+schedule alone (plus the case and configuration) replays the
+divergence.
+
+Witnesses are JSON-able (they ride inside corpus case files under a
+``"witness"`` key) and replay through the *fuzzer's* harness — see
+:func:`repro.verify.harness.check_witness` — so a checker counterexample
+is validated by an independent implementation of the run loop, and the
+shrinker can minimize the case while the checker re-derives a fresh
+schedule for each reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Witness:
+    """One divergence-reproducing environment schedule."""
+
+    kind: str                  # "state" | "output" | "hang" | "crash"
+    config: str                # pipeline configuration name
+    queue_capacity: int        # architectural queue depth of the run
+    schedule: list[dict] = field(default_factory=list)
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "config": self.config,
+            "queue_capacity": self.queue_capacity,
+            "schedule": self.schedule,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Witness":
+        return cls(
+            kind=data["kind"],
+            config=data["config"],
+            queue_capacity=int(data["queue_capacity"]),
+            schedule=[_normalize_step(step) for step in data["schedule"]],
+            detail=data.get("detail", ""),
+        )
+
+    def cycles(self) -> int:
+        return len(self.schedule)
+
+
+def _normalize_step(step: dict) -> dict:
+    """JSON round trip turns int keys into strings; accept both."""
+    return {
+        phase: {int(queue): int(count)
+                for queue, count in (step.get(phase) or {}).items()}
+        for phase in ("deliver", "drain")
+    }
+
+
+def schedule_step(deliver: tuple[int, ...], drain: tuple[int, ...]) -> dict:
+    """One sparse schedule entry from per-queue action tuples."""
+    return {
+        "deliver": {q: k for q, k in enumerate(deliver) if k},
+        "drain": {q: k for q, k in enumerate(drain) if k},
+    }
+
+
+def replay_witness(case: dict, witness: Witness, params=None) -> dict:
+    """Replay a witness through the fuzzer harness.
+
+    Returns the harness result dict; ``result["reproduced"]`` tells
+    whether the divergence still manifests.  Thin wrapper so callers
+    holding a witness need not know the harness module layout.
+    """
+    from repro.params import DEFAULT_PARAMS
+    from repro.verify.harness import check_witness
+
+    return check_witness(case, witness, params or DEFAULT_PARAMS)

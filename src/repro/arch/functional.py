@@ -263,6 +263,56 @@ class FunctionalPE:
                 "retire", self.name, slot=slot, op=meta.op.mnemonic
             )
 
+    def snapshot_arch_state(self) -> tuple:
+        """Canonical, hashable architectural state (the checker seam).
+
+        Everything a future cycle's behavior can depend on, as one
+        nested tuple: registers, the predicate vector, the non-zero
+        scratchpad words, the halt flag, and every queue's live and
+        staged contents.  Performance counters and forensic rings are
+        *excluded* — they never feed back into execution, and including
+        monotone counters would make every state unique, defeating the
+        bounded model checker's frontier deduplication.  The inverse is
+        :meth:`restore_arch_state`.
+        """
+        scratch = ()
+        if self.scratchpad is not None:
+            scratch = tuple(
+                (address, word)
+                for address, word in enumerate(self.scratchpad.dump())
+                if word
+            )
+        return (
+            self.regs.snapshot(),
+            self.preds.state,
+            scratch,
+            self.halted,
+            tuple(queue.arch_state() for queue in self.inputs),
+            tuple(queue.arch_state() for queue in self.outputs),
+        )
+
+    def restore_arch_state(self, state: tuple) -> None:
+        """Restore a :meth:`snapshot_arch_state` snapshot onto this PE.
+
+        Counters and forensic rings are left untouched (they are not
+        architectural); the memoized trigger-decision cache is dropped so
+        a stale decision can never alias the restored queue state.
+        """
+        regs, preds, scratch, halted, inputs, outputs = state
+        for index, value in enumerate(regs):
+            self.regs.write(index, value)
+        self.preds.state = preds
+        if self.scratchpad is not None:
+            self.scratchpad.reset()
+            for address, word in scratch:
+                self.scratchpad.store(address, word)
+        self.halted = halted
+        for queue, enc in zip(self.inputs, inputs):
+            queue.restore_arch(enc)
+        for queue, enc in zip(self.outputs, outputs):
+            queue.restore_arch(enc)
+        self._decision_cache.clear()
+
     def snapshot_state(self) -> dict:
         """Structured architectural state for forensic dumps."""
         return {

@@ -188,6 +188,27 @@ class TaggedQueue:
         self.version += 1
         return items
 
+    def arch_state(self) -> tuple:
+        """Canonical hashable contents: ``(live, staged)`` value/tag pairs.
+
+        The bounded model checker's state encoding; restore with
+        :meth:`restore_arch`.  Capacity and name are configuration, not
+        state, so they are not included.
+        """
+        return (
+            tuple((entry.value, entry.tag) for entry in self._live),
+            tuple((entry.value, entry.tag) for entry in self._staged),
+        )
+
+    def restore_arch(self, state: tuple) -> None:
+        """Restore an :meth:`arch_state` snapshot (bumps ``version`` so
+        memoized scheduler decisions cannot alias the restored state)."""
+        live, staged = state
+        self._live.clear()
+        self._live.extend(QueueEntry(value, tag) for value, tag in live)
+        self._staged[:] = [QueueEntry(value, tag) for value, tag in staged]
+        self.version += 1
+
     def entries(self) -> tuple[QueueEntry, ...]:
         """Non-destructive view of every pending entry, live then staged.
 

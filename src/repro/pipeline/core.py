@@ -710,6 +710,136 @@ class PipelinedPE:
         )
 
     # ------------------------------------------------------------------
+    # Canonical state (the bounded model checker seam)
+    # ------------------------------------------------------------------
+
+    def snapshot_arch_state(self) -> tuple:
+        """Canonical, hashable microarchitectural state.
+
+        Everything a future cycle's behavior can depend on, as one
+        nested tuple: registers, predicates, non-zero scratchpad words,
+        the halt flags, queue contents (live and staged), the in-flight
+        queue bookkeeping, the pipeline registers, outstanding
+        speculations, and the predictor's two-bit counters.
+
+        Sequence numbers are renumbered to their *relative* order — only
+        age comparisons between in-flight entries and speculation owners
+        matter, so two states reached after different issue counts but
+        with identical relative structure canonicalize identically.
+        That (plus excluding monotone cycle/retire counters and the
+        predictor's accuracy tallies, which never feed back into
+        execution) is what keeps the checker's frontier finite.  The
+        inverse is :meth:`restore_arch_state`.
+        """
+        seqs = sorted(
+            {e.seq for e in self._pipe if e is not None}
+            | {s.owner_seq for s in self._specs}
+        )
+        rank = {seq: index for index, seq in enumerate(seqs)}
+        pipe = []
+        for entry in self._pipe:
+            if entry is None:
+                pipe.append(None)
+                continue
+            result = entry.result
+            pipe.append((
+                entry.slot,
+                rank[entry.seq],
+                entry.captured,
+                entry.operands,
+                None if result is None
+                else (result.value, result.halt, result.store),
+                entry.result_ready,
+                entry.pred_committed,
+            ))
+        scratch = ()
+        if self.scratchpad is not None:
+            scratch = tuple(
+                (address, word)
+                for address, word in enumerate(self.scratchpad.dump())
+                if word
+            )
+        return (
+            self.regs.snapshot(),
+            self.preds.state,
+            scratch,
+            self.halted,
+            self._halt_pending,
+            tuple(queue.arch_state() for queue in self.inputs),
+            tuple(queue.arch_state() for queue in self.outputs),
+            (
+                tuple(self._queue_state.pending_deqs),
+                tuple(self._queue_state.sched_deqs),
+                tuple(self._queue_state.pending_enqs),
+            ),
+            tuple(pipe),
+            tuple(
+                (rank[s.owner_seq], s.pred_index, s.predicted, s.fallback,
+                 s.forced)
+                for s in self._specs
+            ),
+            (tuple(self.predictor.counters), self.predictor.force_invert_next),
+        )
+
+    def restore_arch_state(self, state: tuple) -> None:
+        """Restore a :meth:`snapshot_arch_state` snapshot onto this PE.
+
+        The loaded program must be the one the snapshot was taken under
+        (pipeline entries are rebuilt from instruction slots).  Counters
+        and forensic rings are left untouched; the memoized decision
+        cache is dropped so stale decisions cannot alias restored state.
+        """
+        (regs, preds, scratch, halted, halt_pending, inputs, outputs,
+         queue_state, pipe, specs, predictor) = state
+        for index, value in enumerate(regs):
+            self.regs.write(index, value)
+        self.preds.state = preds
+        if self.scratchpad is not None:
+            self.scratchpad.reset()
+            for address, word in scratch:
+                self.scratchpad.store(address, word)
+        self.halted = halted
+        self._halt_pending = halt_pending
+        for queue, enc in zip(self.inputs, inputs):
+            queue.restore_arch(enc)
+        for queue, enc in zip(self.outputs, outputs):
+            queue.restore_arch(enc)
+        pending_deqs, sched_deqs, pending_enqs = queue_state
+        self._queue_state.pending_deqs[:] = pending_deqs
+        self._queue_state.sched_deqs[:] = sched_deqs
+        self._queue_state.pending_enqs[:] = pending_enqs
+        self._pipe = [None] * self._depth
+        next_seq = 0
+        for stage, enc in enumerate(pipe):
+            if enc is None:
+                continue
+            (slot, seq, captured, operands, result, result_ready,
+             pred_committed) = enc
+            entry = _InFlight(self.instructions[slot], self._dp_meta[slot],
+                              slot, seq, stage)
+            entry.captured = captured
+            entry.operands = operands
+            if result is not None:
+                entry.result = AluResult(*result)
+            entry.result_ready = result_ready
+            entry.pred_committed = pred_committed
+            self._pipe[stage] = entry
+            next_seq = max(next_seq, seq + 1)
+        self._specs = []
+        for owner_seq, pred_index, predicted, fallback, forced in specs:
+            self._specs.append(_Speculation(
+                owner_seq=owner_seq, pred_index=pred_index,
+                predicted=predicted, fallback=fallback, forced=forced,
+            ))
+            next_seq = max(next_seq, owner_seq + 1)
+        self._next_seq = next_seq
+        counters, force_invert = predictor
+        self.predictor.counters[:] = counters
+        self.predictor.force_invert_next = force_invert
+        self._decision_cache.clear()
+        self._state_version += 1
+
+    # ------------------------------------------------------------------
     # Observability / forensics
     # ------------------------------------------------------------------
 

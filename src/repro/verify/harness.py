@@ -67,30 +67,61 @@ def _hang_dump(pe) -> str:
 
 
 def _run_model(pe, streams: dict[int, list[tuple[int, int]]],
-               max_cycles: int) -> dict | None:
+               max_cycles: int, schedule=None) -> dict | None:
     """Drive one PE to halt; returns its fingerprint, or None on a hang.
 
-    Input queues are topped up from the streams whenever capacity frees
-    and outputs are drained every cycle, so queue availability is a pure
-    function of how many tokens the program has consumed — identical
-    across every model, whatever their issue timing.
+    By default, input queues are topped up from the streams whenever
+    capacity frees and outputs are drained every cycle, so queue
+    availability is a pure function of how many tokens the program has
+    consumed — identical across every model, whatever their issue
+    timing.
+
+    ``schedule`` (a list of checker witness steps, see
+    :mod:`repro.analyze.witness`) overrides that canonical environment
+    for its first ``len(schedule)`` cycles: each step names how many
+    tokens to deliver per input queue before the cycle and how many
+    entries to drain per output queue after it.  Deliveries are clamped
+    to available capacity and backlog (a shrinker that deletes stream
+    tokens must not turn a witness schedule into an illegal one); once
+    the schedule is exhausted the canonical environment resumes, so a
+    finite witness prefix still runs to halt.
     """
     backlog = {queue: list(tokens) for queue, tokens in streams.items()}
     collected: dict[int, list[tuple[int, int]]] = {
         index: [] for index in range(len(pe.outputs))
     }
-    for _ in range(max_cycles):
+    schedule = list(schedule) if schedule else []
+    for cycle in range(max_cycles):
         if pe.halted:
             break
-        for queue, tokens in backlog.items():
-            while tokens and not pe.inputs[queue].is_full:
-                value, tag = tokens.pop(0)
-                pe.inputs[queue].enqueue(value, tag)
+        plan = schedule[cycle] if cycle < len(schedule) else None
+        if plan is None:
+            for queue, tokens in backlog.items():
+                while tokens and not pe.inputs[queue].is_full:
+                    value, tag = tokens.pop(0)
+                    pe.inputs[queue].enqueue(value, tag)
+        else:
+            for queue, count in (plan.get("deliver") or {}).items():
+                queue = int(queue)
+                tokens = backlog.get(queue, [])
+                for _ in range(count):
+                    if not tokens or pe.inputs[queue].is_full:
+                        break
+                    value, tag = tokens.pop(0)
+                    pe.inputs[queue].enqueue(value, tag)
         pe.step()
         pe.commit_queues()
-        for index, queue in enumerate(pe.outputs):
-            for entry in queue.drain():
-                collected[index].append((entry.value, entry.tag))
+        if plan is None:
+            for index, queue in enumerate(pe.outputs):
+                for entry in queue.drain():
+                    collected[index].append((entry.value, entry.tag))
+        else:
+            for index, count in (plan.get("drain") or {}).items():
+                index = int(index)
+                queue = pe.outputs[index]
+                for _ in range(min(count, queue.occupancy)):
+                    entry = queue.dequeue()
+                    collected[index].append((entry.value, entry.tag))
     if not pe.halted:
         return None
     pe.commit_queues()
@@ -121,7 +152,7 @@ def _run_model(pe, streams: dict[int, list[tuple[int, int]]],
 
 
 def _run_guarded(pe, streams: dict[int, list[tuple[int, int]]],
-                 max_cycles: int) -> dict | None:
+                 max_cycles: int, schedule=None) -> dict | None:
     """:func:`_run_model`, with model crashes captured as results.
 
     A queue-accounting bug can surface as an exception (dequeue from an
@@ -129,7 +160,7 @@ def _run_guarded(pe, streams: dict[int, list[tuple[int, int]]],
     campaign must record that as a divergence, not die on it.
     """
     try:
-        return _run_model(pe, streams, max_cycles)
+        return _run_model(pe, streams, max_cycles, schedule=schedule)
     except Exception as exc:     # noqa: BLE001
         return {"crashed": f"{type(exc).__name__}: {exc}"}
 
@@ -369,6 +400,76 @@ def check_case(case: dict, params: ArchParams = DEFAULT_PARAMS,
                     "config": config.name,
                     "detail": "; ".join(fields),
                 })
+    return result
+
+
+def check_witness(case: dict, witness, params: ArchParams = DEFAULT_PARAMS,
+                  ) -> dict:
+    """Replay a checker witness through this (independent) harness.
+
+    The checker (:mod:`repro.analyze.check`) and this harness implement
+    the run loop separately; a witness that reproduces here is validated
+    by two implementations.  The golden model runs under the *canonical*
+    environment (its fingerprint is schedule-independent whenever the
+    checker proved the golden model schedule-deterministic, which it
+    does before emitting any witness); the accused configuration runs
+    under the witness schedule at the witness's queue depth.
+
+    Returns a JSON-able dict; ``result["reproduced"]`` is True when the
+    replay diverges (crash, hang, or final-state mismatch).
+    """
+    from dataclasses import replace
+
+    cparams = replace(params, queue_capacity=witness.queue_capacity)
+    program = assemble(case_source(case, cparams), cparams,
+                       name=case["name"])
+    streams = case_streams(case)
+    config = next((c for c in CONFIGS if c.name == witness.config), None)
+    if config is None:
+        raise ReproError(f"witness names unknown config {witness.config!r}")
+
+    golden = FunctionalPE(cparams, name=f"{case['name']}-golden")
+    program.configure(golden)
+    golden_print = _run_guarded(golden, streams, GOLDEN_WATCHDOG)
+
+    result = {
+        "name": case["name"],
+        "config": witness.config,
+        "kind": witness.kind,
+        "queue_capacity": witness.queue_capacity,
+        "reproduced": False,
+        "divergence": None,
+    }
+    if golden_print is None or "crashed" in golden_print:
+        result["divergence"] = {
+            "kind": "golden-timeout" if golden_print is None else "crash",
+            "detail": "golden model failed under the canonical schedule",
+        }
+        return result
+
+    bound = (golden_print["cycles"] * (6 * config.depth) + 500
+             + witness.cycles())
+    pe = PipelinedPE(config, cparams, name=f"{case['name']}-witness")
+    program.configure(pe)
+    candidate = _run_guarded(pe, streams, bound, schedule=witness.schedule)
+    if candidate is not None and "crashed" in candidate:
+        result["reproduced"] = True
+        result["divergence"] = {"kind": "crash",
+                                "detail": candidate["crashed"]}
+        return result
+    if candidate is None:
+        result["reproduced"] = True
+        result["divergence"] = {
+            "kind": "hang",
+            "detail": f"no halt within {bound} cycles "
+                      f"(golden: {golden_print['cycles']}):\n"
+                      + _hang_dump(pe),
+        }
+        return result
+    fields = _diff_states(golden_print, candidate)
+    if fields:
+        result["reproduced"] = True
+        result["divergence"] = {"kind": "state", "detail": "; ".join(fields)}
     return result
 
 

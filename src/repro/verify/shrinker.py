@@ -44,15 +44,26 @@ def _without_token(case: dict, queue: str, index: int) -> dict:
 
 def shrink_case(case: dict, params: ArchParams = DEFAULT_PARAMS,
                 ref_configs: int = 2, max_checks: int = 400,
-                jit: bool = False) -> dict:
+                jit: bool = False, oracle=None) -> dict:
     """Minimize a divergent case; returns the smallest still-divergent
-    form (the case itself if it is not divergent to begin with)."""
+    form (the case itself if it is not divergent to begin with).
+
+    ``oracle`` replaces the default "does the fuzz harness still see a
+    divergence" predicate.  The bounded equivalence checker passes
+    :func:`repro.analyze.check.checker_oracle` here so witness cases
+    minimize against *checker* divergence — the checker re-derives a
+    fresh schedule for every candidate reduction, so the minimal case
+    always carries a valid witness of its own.
+    """
     checks = 0
+    if oracle is None:
+        def oracle(candidate: dict) -> bool:
+            return _is_divergent(candidate, params, ref_configs, jit)
 
     def divergent(candidate: dict) -> bool:
         nonlocal checks
         checks += 1
-        return _is_divergent(candidate, params, ref_configs, jit)
+        return oracle(candidate)
 
     if not divergent(case):
         return case
