@@ -1,0 +1,51 @@
+"""Static-bound economics (not a paper exhibit).
+
+Guards the two claims that make ``repro.analyze.perf`` useful as a
+DSE pruning oracle for ROADMAP item 5's large sweeps: the analytic
+bounds are orders of magnitude cheaper than simulation (a full
+ten-workload x 48-config bound sweep costs seconds), and routing the
+Section 3 sweep through ``sweep(prune=...)`` removes a large share of
+the point evaluations while reproducing the exhaustive Pareto
+frontier exactly.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.dse.pareto import pareto_frontier
+from repro.dse.prune import PruneOracle
+from repro.dse.sweep import sweep
+from repro.pipeline.config import all_configs
+
+
+def _key(point):
+    return (point.config_name, point.vt.value, point.vdd,
+            round(point.frequency_hz))
+
+
+def test_static_bound_sweep_costs_seconds():
+    """Bounds for every workload x every config, no simulation: the
+    price that makes prune-before-simulate viable at sweep scale."""
+    configs = all_configs(include_padded=True)
+    start = time.perf_counter()
+    oracle = PruneOracle.from_workloads(configs, scale=12)
+    elapsed = time.perf_counter() - start
+    assert set(oracle.lower_bounds) == {c.name for c in configs}
+    assert all(floor >= 1.0 for floor in oracle.lower_bounds.values())
+    assert elapsed < 60.0, f"static bound sweep took {elapsed:.1f}s"
+
+
+def test_pruned_sweep_reproduces_the_frontier(cpi_table):
+    """Full Section 3 sweep vs the pruned one: identical frontier,
+    with the majority of point evaluations skipped."""
+    configs = all_configs()
+    full = sweep(configs=configs, cpi_table=cpi_table)
+    oracle = PruneOracle.from_workloads(configs, scale=cpi_table.scale)
+    pruned = sweep(configs=configs, cpi_table=cpi_table, prune=oracle)
+
+    assert sorted(map(_key, pareto_frontier(pruned))) == \
+        sorted(map(_key, pareto_frontier(full)))
+    stats = oracle.stats
+    assert stats.points_total == len(full)
+    assert stats.point_rate >= 0.5, stats.as_dict()

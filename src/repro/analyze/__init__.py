@@ -8,7 +8,12 @@ Three layers:
   unsatisfiable triggers, shadowed and overlapping triggers, redundant
   predicate literals, speculation-window dequeues);
 * :mod:`repro.analyze.fabric` — system-level rules over the channel
-  wiring (tag mismatches through ports, capacity-cycle deadlock risk).
+  wiring (tag mismatches through ports, capacity-cycle deadlock risk);
+* :mod:`repro.analyze.perf` — static CPI/throughput bounds per
+  (program, pipeline config) by cycle-mean analysis over the weighted
+  firing-transition graph (:mod:`repro.analyze.graph`), validated to
+  bracket the simulator and consumed by the DSE pruning oracle
+  (:mod:`repro.dse.prune`).
 
 A fourth layer proves rather than lints:
 
@@ -49,33 +54,52 @@ from repro.analyze.findings import (
     Finding,
     Severity,
     count_by_severity,
+    fails_build,
     render_json,
     render_sarif,
     render_text,
     worst_severity,
 )
+from repro.analyze.graph import FiringGraph, build_firing_graph, cycle_mean
 from repro.analyze.lints import analyze_program
+from repro.analyze.perf import (
+    PerfAnalyzer,
+    PerfBounds,
+    bracket_check,
+    config_lower_bounds,
+    program_bounds,
+    workload_bounds,
+)
 
 __all__ = [
     "CheckBounds",
     "CheckReport",
     "ConfigVerdict",
     "Finding",
+    "FiringGraph",
+    "PerfAnalyzer",
+    "PerfBounds",
     "Reachability",
     "Severity",
     "Witness",
     "analyze_program",
     "analyze_system",
+    "bracket_check",
+    "build_firing_graph",
     "check_case",
     "check_program",
     "checkable_workloads",
     "checker_oracle",
+    "config_lower_bounds",
     "confirm_speculation_window",
     "count_by_severity",
     "crossval_case",
+    "cycle_mean",
     "explore",
+    "fails_build",
     "node_digest",
     "node_key",
+    "program_bounds",
     "reachable_slots",
     "render_json",
     "replay_witness",
@@ -86,5 +110,6 @@ __all__ = [
     "schedule_step",
     "stream_tag_sets",
     "unreachable_retirements",
+    "workload_bounds",
     "worst_severity",
 ]

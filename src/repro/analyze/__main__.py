@@ -10,6 +10,10 @@ Modes (combinable; findings are concatenated):
   and cross-validate analyzer reachability against a golden-model run;
 * ``--fuzz N`` — generate ``N`` fresh cases (``--seed`` selects the
   stream) and cross-validate each the same way;
+* ``--perf`` — static CPI/throughput bounds and the performance finding
+  rules per workload worker (``--perf --smoke`` runs the CI validation
+  gate: measured CPI must fall inside the static bounds on three
+  workloads across all 48 configs);
 * ``--smoke`` — the CI battery: all workloads plus a small fuzz sweep,
   failing on any warning-or-worse finding.
 
@@ -30,10 +34,10 @@ from repro.analyze.fabric import analyze_system
 from repro.analyze.findings import (
     Finding,
     Severity,
+    fails_build,
     render_json,
     render_sarif,
     render_text,
-    worst_severity,
 )
 from repro.analyze.lints import analyze_program
 from repro.asm.assembler import assemble_file
@@ -142,6 +146,52 @@ def _report_findings(report, subject: str) -> list[Finding]:
     return findings
 
 
+#: The --perf --smoke battery: three workloads with distinct binding
+#: mechanisms (predicate loop, streaming channel chain, long +P loop
+#: body) x all 48 configs, simulated at a scale that keeps the gate
+#: under the CI job's 30-second budget.
+_PERF_SMOKE_WORKLOADS = ["gcd", "stream", "udiv"]
+_PERF_SMOKE_SCALE = 8
+
+
+def _perf_findings(args) -> list[Finding]:
+    """The ``--perf`` mode: static CPI bounds and their finding rules.
+
+    Plain ``--perf`` reports the three performance rules per workload
+    worker (bounds summary on stderr, findings through the ordinary
+    emitters); ``--perf --smoke`` instead runs the validation gate —
+    simulate (workload x config) pairs and emit a
+    ``perf-bound-violated`` error for any measured CPI outside the
+    static bounds.
+    """
+    from repro.analyze.perf import bracket_check, workload_analyzer
+    from repro.pipeline.config import all_configs
+    from repro.workloads.suite import WORKLOADS
+
+    findings: list[Finding] = []
+    if args.smoke:
+        names = args.workloads or _PERF_SMOKE_WORKLOADS
+        rows, violations = bracket_check(
+            workloads=names, scale=_PERF_SMOKE_SCALE, seed=args.seed)
+        bracketed = sum(1 for row in rows if row["bracketed"])
+        print(f"perf: {bracketed}/{len(rows)} (workload, config) pairs "
+              f"bracketed by static bounds", file=sys.stderr)
+        return findings + violations
+
+    configs = all_configs(include_padded=True)
+    for name in args.workloads or WORKLOADS():
+        analyzer, worker = workload_analyzer(name)
+        bounds = [analyzer.bounds(worker, config) for config in configs]
+        lows = [b.lower for b in bounds]
+        ups = [b.upper for b in bounds]
+        print(f"perf: {name}/{worker}: static CPI lower "
+              f"{min(lows):.2f}-{max(lows):.2f}, upper "
+              f"{min(ups):.2f}-{max(ups):.2f} over {len(configs)} configs",
+              file=sys.stderr)
+        findings += analyzer.findings(worker, configs)
+    return findings
+
+
 def _check_findings(args) -> list[Finding]:
     """The ``--check`` mode: bounded equivalence proofs + the
     bidirectional checker-vs-fuzzer cross-validation gate."""
@@ -240,6 +290,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="run the bounded equivalence checker instead "
                              "of the lint/crossval pass")
+    parser.add_argument("--perf", action="store_true",
+                        help="static CPI/throughput bounds per workload "
+                             "(with --smoke: validate bounds bracket the "
+                             "simulator on 3 workloads x 48 configs)")
     parser.add_argument("--check-depth", type=int, default=2,
                         metavar="CAP",
                         help="queue capacity bound for --check (default 2)")
@@ -255,9 +309,11 @@ def main(argv: list[str] | None = None) -> int:
                              "(default: warning)")
     args = parser.parse_args(argv)
 
+    if args.check and args.perf:
+        parser.error("--check and --perf are separate modes; pick one")
     if args.smoke:
-        if args.check:
-            if not args.corpus:
+        if args.check or args.perf:
+            if args.check and not args.corpus:
                 args.corpus = "tests/corpus"
         else:
             if args.workloads is None:
@@ -265,9 +321,9 @@ def main(argv: list[str] | None = None) -> int:
             if not args.fuzz:
                 args.fuzz = 25
     if (not args.files and args.workloads is None and not args.corpus
-            and not args.fuzz):
+            and not args.fuzz and not args.perf):
         parser.error("nothing to analyze: give files, --workloads, "
-                     "--corpus, or --fuzz")
+                     "--corpus, --fuzz, or --perf")
 
     findings: list[Finding] = []
     try:
@@ -276,6 +332,11 @@ def main(argv: list[str] | None = None) -> int:
                 parser.error("--check works on --workloads/--corpus/"
                              "--fuzz, not assembly files")
             findings += _check_findings(args)
+        elif args.perf:
+            if args.files or args.corpus or args.fuzz:
+                parser.error("--perf works on --workloads (Table 3 "
+                             "systems), not files/--corpus/--fuzz")
+            findings += _perf_findings(args)
         else:
             for path in args.files:
                 program = assemble_file(path)
@@ -296,12 +357,7 @@ def main(argv: list[str] | None = None) -> int:
                 "sarif": render_sarif}[args.format]
     print(renderer(findings))
 
-    if args.fail_on == "never":
-        return 0
-    worst = worst_severity(findings)
-    if worst is not None and worst >= Severity.parse(args.fail_on):
-        return 1
-    return 0
+    return 1 if fails_build(findings, args.fail_on) else 0
 
 
 if __name__ == "__main__":

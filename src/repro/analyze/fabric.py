@@ -125,10 +125,10 @@ class _Wiring:
         if source.producer is not None:
             name, out_index = source.producer
             tags |= _emitted_tags(self.programs[name].instructions, out_index)
-        elif source.port_producer is not None:
-            return _UNKNOWN      # port with no traceable request side
-        elif not tags:
-            return _UNKNOWN      # dangling queue, nothing pending: unknown
+        elif source.port_producer is not None or not tags:
+            # Port with no traceable request side, or a dangling queue
+            # with nothing pending — unknown either way.
+            return _UNKNOWN
         return tags
 
 

@@ -104,6 +104,22 @@ def worst_severity(findings: list[Finding]) -> Severity | None:
     return max((f.severity for f in findings), default=None)
 
 
+def fails_build(findings: list[Finding], fail_on: str) -> bool:
+    """Whether a finding list flips the exit status under ``--fail-on``.
+
+    The comparison is the explicit :class:`Severity` order (note <
+    warning < error, via the IntEnum values) — never string comparison,
+    which would order the labels alphabetically ("error" < "note" <
+    "warning") and silently invert the threshold.  ``"never"`` disables
+    the gate entirely; any other unknown label raises ``ValueError``.
+    """
+    if fail_on == "never":
+        return False
+    threshold = Severity.parse(fail_on)
+    worst = worst_severity(findings)
+    return worst is not None and worst >= threshold
+
+
 def count_by_severity(findings: list[Finding]) -> dict[str, int]:
     counts = {s.label: 0 for s in Severity}
     for finding in findings:

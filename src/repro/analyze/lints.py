@@ -142,16 +142,13 @@ def _unreachable_findings(
         if slot in skip:
             continue
         ins = instructions[slot]
-        if not tags_feasible(ins, input_tags, params.num_tags):
-            message = (
-                "trigger's queue conditions can never be met: the tags it "
-                "checks for never arrive on the wired channel"
-            )
-        else:
-            message = (
-                "trigger can never be satisfied from any reachable "
-                "predicate state — dead instruction slot"
-            )
+        message = (
+            "trigger can never be satisfied from any reachable "
+            "predicate state — dead instruction slot"
+            if tags_feasible(ins, input_tags, params.num_tags) else
+            "trigger's queue conditions can never be met: the tags it "
+            "checks for never arrive on the wired channel"
+        )
         findings.append(_finding(
             "unreachable-trigger", Severity.WARNING, message, pe, slot, ins))
     return findings
@@ -198,9 +195,7 @@ def _implies(earlier: Instruction, later: Instruction) -> bool:
         elif negate or tag != check.tag:
             return False
     earlier_out = earlier.output_queue
-    if earlier_out is not None and earlier_out != later.output_queue:
-        return False
-    return True
+    return earlier_out is None or earlier_out == later.output_queue
 
 
 def _tags_compatible(a: Instruction, b: Instruction) -> bool:

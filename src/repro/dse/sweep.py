@@ -45,6 +45,32 @@ def frequency_grid(vt: VtFlavor, vdd: float) -> list[float]:
     return sorted(targets)
 
 
+def close_grid(
+    config: PipelineConfig,
+    tech: Technology = TECH65,
+    include_fmax_points: bool = True,
+):
+    """Close one config's (VT, VDD, f) synthesis grid — no CPI needed.
+
+    Synthesis depends only on the microarchitecture and the electrical
+    corner, so the grid can be closed before (or without) the expensive
+    CPI campaign; :mod:`repro.dse.prune` exploits exactly that to
+    project best-case metrics from static CPI lower bounds.
+    """
+    results = []
+    for vt in VtFlavor:
+        for vdd in voltage_grid(vt):
+            targets = list(frequency_grid(vt, vdd))
+            if include_fmax_points:
+                targets.append(fmax(config, vdd, vt, tech))
+            for f_target in targets:
+                try:
+                    results.append(synthesize(config, vdd, vt, f_target, tech))
+                except SynthesisError:
+                    continue
+    return results
+
+
 def _close_config(
     task: tuple[PipelineConfig, float, Technology, bool],
 ) -> list[DesignPoint]:
@@ -55,19 +81,10 @@ def _close_config(
     lists reproduces the serial sweep exactly.
     """
     config, cpi, tech, include_fmax_points = task
-    points: list[DesignPoint] = []
-    for vt in VtFlavor:
-        for vdd in voltage_grid(vt):
-            targets = list(frequency_grid(vt, vdd))
-            if include_fmax_points:
-                targets.append(fmax(config, vdd, vt, tech))
-            for f_target in targets:
-                try:
-                    result = synthesize(config, vdd, vt, f_target, tech)
-                except SynthesisError:
-                    continue
-                points.append(DesignPoint(synthesis=result, cpi=cpi))
-    return points
+    return [
+        DesignPoint(synthesis=result, cpi=cpi)
+        for result in close_grid(config, tech, include_fmax_points)
+    ]
 
 
 def sweep(
@@ -78,6 +95,7 @@ def sweep(
     workers: int | None = None,
     profile=None,
     service=None,
+    prune=None,
 ) -> list[DesignPoint]:
     """Close every feasible design point in the characterized space.
 
@@ -98,11 +116,28 @@ def sweep(
     supervised campaign service: results are unchanged, but identical
     work is deduped against the durable store and an interrupted sweep
     resumes from its completed tasks.
+
+    ``prune`` (a :class:`repro.dse.prune.PruneOracle`) short-circuits
+    the CPI campaign for configs whose entire best-case grid — projected
+    from the static CPI lower bound of :mod:`repro.analyze.perf` — is
+    already dominated by measured points.  Pruned points are omitted
+    from the returned list, but the Pareto frontier of the result is
+    identical to the unpruned sweep's (see :mod:`repro.dse.prune` for
+    the argument); pruned/evaluated counts land in ``prune.stats`` and
+    the ``repro.dse.prune`` logger.
     """
     if configs is None:
         configs = all_configs()
     if cpi_table is None:
         cpi_table = CpiTable()
+    if prune is not None:
+        from repro.dse.prune import pruned_sweep
+
+        return pruned_sweep(
+            configs, cpi_table, prune, tech=tech,
+            include_fmax_points=include_fmax_points, workers=workers,
+            profile=profile, service=service,
+        )
     # Fill the CPI table first (parallel across configs) so the closure
     # tasks below are cheap, pure and picklable.
     cpi_table.populate(configs, workers=workers, profile=profile,

@@ -109,23 +109,23 @@ class MemoryReadPort:
             self.response.enqueue(load.value, load.tag)
         # Accept a new request.  Loads are performed at acceptance (the
         # memory is static during flight), the response waits out latency.
-        if self.request is not None and not self.request.is_empty:
-            # Avoid unbounded buildup: only accept when the in-flight window
-            # still has room for this load's eventual response.
-            if len(self._in_flight) < self.latency:
-                entry = self.request.dequeue()
-                self._in_flight.append(
-                    _InFlightLoad(
-                        ready_at=self._now + self.latency,
-                        value=self.memory.load(entry.value),
-                        tag=entry.tag,
-                    )
+        # Avoid unbounded buildup: only accept when the in-flight window
+        # still has room for this load's eventual response.
+        if (self.request is not None and not self.request.is_empty
+                and len(self._in_flight) < self.latency):
+            entry = self.request.dequeue()
+            self._in_flight.append(
+                _InFlightLoad(
+                    ready_at=self._now + self.latency,
+                    value=self.memory.load(entry.value),
+                    tag=entry.tag,
                 )
-                if self.telemetry is not None:
-                    self.telemetry.emit(
-                        "port_grant", self.name, op="load",
-                        address=entry.value, tag=entry.tag,
-                    )
+            )
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "port_grant", self.name, op="load",
+                    address=entry.value, tag=entry.tag,
+                )
 
     @property
     def idle(self) -> bool:

@@ -276,7 +276,7 @@ class System:
                 if pe.step():
                     progressed = True
             except SimulationError as exc:
-                raise attribute_error(exc, pe.name, self.cycles)
+                raise attribute_error(exc, pe.name, self.cycles) from exc
         for port in self.read_ports:
             busy_before = not port.idle
             port.step()
@@ -384,7 +384,8 @@ class System:
                             self.cycles += max(
                                 0, solo.counters.cycles - before - 1
                             )
-                            raise attribute_error(exc, solo.name, self.cycles)
+                            raise attribute_error(
+                                exc, solo.name, self.cycles) from exc
                         ran = solo.counters.cycles - before
                         if ran:
                             self.cycles += ran
@@ -418,7 +419,7 @@ class System:
                     if pe.halted:
                         pruned = True
             except SimulationError as exc:
-                raise attribute_error(exc, pe.name, self.cycles)
+                raise attribute_error(exc, pe.name, self.cycles) from exc
             pe_prog = prog
             if pruned:
                 live = [entry for entry in live if not entry[1].halted]
@@ -527,7 +528,7 @@ class System:
                             pc = entry[1].counters
                             pc.cycles += ran
                             pc.none_triggered_cycles += ran
-                    raise attribute_error(exc, cp.name, self.cycles)
+                    raise attribute_error(exc, cp.name, self.cycles) from exc
                 ran = cp.counters.cycles - before
                 if ran:
                     self.cycles += ran
@@ -630,14 +631,13 @@ class System:
         """
         if not self.pes:
             raise ConfigError("system has no PEs")
-        if (
+        use_jit = (
             self.invariant_checker is None
             and self.telemetry is None
             and all(getattr(pe, "_jit", None) is not None for pe in self.pes)
-        ):
-            completed = self._run_jit(max_cycles, stall_limit)
-        else:
-            completed = self._run_interleaved(max_cycles, stall_limit)
+        )
+        completed = (self._run_jit(max_cycles, stall_limit) if use_jit
+                     else self._run_interleaved(max_cycles, stall_limit))
         if not completed:
             raise self._deadlock_error(f"timeout after {max_cycles} cycles")
         # Let in-flight memory traffic land (stores issued just before halt).
@@ -664,7 +664,7 @@ class System:
                 except AssertionError as exc:
                     raise attribute_error(
                         SimulationError(str(exc)), pe.name, self.cycles
-                    )
+                    ) from exc
 
     def forensic_report(self) -> dict:
         """Structured dump of everything a hang post-mortem needs."""

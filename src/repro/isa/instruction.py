@@ -127,9 +127,7 @@ class Trigger:
         """Whether the given predicate register state satisfies the guard."""
         if (pred_state & self.pred_on) != self.pred_on:
             return False
-        if (~pred_state & self.pred_off) != self.pred_off:
-            return False
-        return True
+        return (~pred_state & self.pred_off) == self.pred_off
 
     @property
     def watched_predicates(self) -> int:

@@ -374,9 +374,9 @@ class PipelinedPE:
 
         # 2. End-of-stage work: operand capture in D, results where due.
         decode_entry = pipe[decode_stage]
-        if decode_entry is not None and not decode_entry.captured:
-            if self._operands_ready(decode_entry):
-                self._capture(decode_entry)
+        if (decode_entry is not None and not decode_entry.captured
+                and self._operands_ready(decode_entry)):
+            self._capture(decode_entry)
         # Oldest first: a mispredicting owner must flush younger entries
         # before any of them commits an early predicate write of its own.
         for entry in reversed(pipe):
@@ -524,9 +524,9 @@ class PipelinedPE:
         for entry in self._pipe:
             if entry is None or entry.seq >= before_seq:
                 continue
-            if entry.writes_reg and entry.ins.dp.dst.index == reg:
-                if best is None or entry.seq > best.seq:
-                    best = entry
+            if (entry.writes_reg and entry.ins.dp.dst.index == reg
+                    and (best is None or entry.seq > best.seq)):
+                best = entry
         return best
 
     def _operands_ready(self, entry: _InFlight) -> bool:

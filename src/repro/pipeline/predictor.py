@@ -54,10 +54,9 @@ class PredicatePredictor:
         prediction was outstanding — the counters track the stream of
         outcomes exactly like a branch history counter.
         """
-        if actual:
-            self.counters[index] = min(self.STRONG_TAKEN, self.counters[index] + 1)
-        else:
-            self.counters[index] = max(self.STRONG_NOT, self.counters[index] - 1)
+        self.counters[index] = (
+            min(self.STRONG_TAKEN, self.counters[index] + 1) if actual
+            else max(self.STRONG_NOT, self.counters[index] - 1))
 
     def record_resolution(self, correct: bool, forced: bool = False) -> None:
         """Account one resolved prediction (Figure 4 accuracy).

@@ -60,7 +60,7 @@ class InvariantChecker:
                 self._check_conservatism(pe)
         except InvariantViolation as exc:
             self.violations.append(str(exc))
-            raise attribute_error(exc, pe.name, cycle)
+            raise attribute_error(exc, pe.name, cycle) from exc
 
     # ------------------------------------------------------------------
     # Individual invariants

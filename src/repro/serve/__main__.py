@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
 import hashlib
 import json
 import os
@@ -223,10 +224,8 @@ def _spawn_child(spec_path: str) -> subprocess.Popen:
 
 
 def _kill_tree(child: subprocess.Popen) -> None:
-    try:
+    with contextlib.suppress(ProcessLookupError):
         os.killpg(child.pid, signal.SIGKILL)
-    except ProcessLookupError:
-        pass
     child.wait()
 
 

@@ -33,6 +33,7 @@ oldest frames from its bounded buffer rather than stalling the pump.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 
 from repro.errors import CampaignError, ReproError
@@ -217,10 +218,8 @@ class HttpFrontend:
             pass
         finally:
             writer.close()
-            try:
+            with contextlib.suppress(ConnectionError, OSError):
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
 
     async def _stream_events(self, writer: asyncio.StreamWriter,
                              job) -> None:

@@ -23,6 +23,7 @@ run, or another job's identical task.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import time
 
@@ -82,10 +83,8 @@ class Job:
         return stream
 
     def unsubscribe(self, stream: JobEventStream) -> None:
-        try:
+        with contextlib.suppress(ValueError):
             self._subscribers.remove(stream)
-        except ValueError:
-            pass
 
     def publish(self, event: str, **data) -> None:
         """Push one lifecycle event to every subscriber (no-op without

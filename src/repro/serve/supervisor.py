@@ -37,6 +37,7 @@ radius exactly that worker — its queues are discarded with it.
 from __future__ import annotations
 
 import collections
+import contextlib
 import heapq
 import multiprocessing
 import time
@@ -181,10 +182,8 @@ class _Worker:
 
     def close_queues(self) -> None:
         for queue in (self.inbox, self.outbox):
-            try:
+            with contextlib.suppress(OSError):
                 queue.close()
-            except OSError:
-                pass
 
 
 class Supervisor:
@@ -308,11 +307,9 @@ class Supervisor:
         if self.obs is not None:
             self.obs.log("worker_kill", level="warning",
                          worker=worker.worker_id, reason=reason)
-        try:
+        with contextlib.suppress(OSError, ValueError):
             worker.process.kill()
             worker.process.join(timeout=5.0)
-        except (OSError, ValueError):
-            pass
         worker.close_queues()
         self._workers.pop(worker.worker_id, None)
 
@@ -632,10 +629,8 @@ class Supervisor:
     def close(self) -> None:
         """Stop every worker (politely, then by force)."""
         for worker in list(self._workers.values()):
-            try:
+            with contextlib.suppress(OSError, ValueError):
                 worker.inbox.put(None)
-            except (OSError, ValueError):
-                pass
         for worker in list(self._workers.values()):
             worker.process.join(timeout=1.0)
             if worker.process.is_alive():

@@ -196,11 +196,10 @@ def generate_case(seed: int, params: ArchParams = DEFAULT_PARAMS) -> dict:
                 # checks would otherwise mask.
                 checks = []
             op = rng.choice(("add", "xor", "mov", "sub", "or"))
-            if op == "mov":
-                text = f"mov %r{rng.choice(_DATA_REGS)}, %i{queue}"
-            else:
-                text = (f"{op} %r{rng.choice(_DATA_REGS)}, %i{queue}, "
-                        f"{_src(rng, params)}")
+            text = (f"mov %r{rng.choice(_DATA_REGS)}, %i{queue}"
+                    if op == "mov" else
+                    f"{op} %r{rng.choice(_DATA_REGS)}, %i{queue}, "
+                    f"{_src(rng, params)}")
             entry = {"op": text, "state": state(), "next": next_state(),
                      "deq": [f"%i{queue}"]}
             if checks:
@@ -211,11 +210,10 @@ def generate_case(seed: int, params: ArchParams = DEFAULT_PARAMS) -> dict:
             out = rng.choice(_MAIN_QUEUES)
             tag = rng.randrange(1 << params.tag_width)
             op = rng.choice(("mov", "add", "xor"))
-            if op == "mov":
-                text = f"mov %o{out}.{tag}, %r{rng.choice(_DATA_REGS)}"
-            else:
-                text = (f"{op} %o{out}.{tag}, %r{rng.choice(_DATA_REGS)}, "
-                        f"{_src(rng, params)}")
+            text = (f"mov %o{out}.{tag}, %r{rng.choice(_DATA_REGS)}"
+                    if op == "mov" else
+                    f"{op} %o{out}.{tag}, %r{rng.choice(_DATA_REGS)}, "
+                    f"{_src(rng, params)}")
             emit({"op": text, "state": state(), "next": next_state()})
         elif kind == "store":
             addr = rng.randrange(16)
@@ -256,11 +254,10 @@ def generate_case(seed: int, params: ArchParams = DEFAULT_PARAMS) -> dict:
             # queue requirements, so stalls hit both arms alike.
             for tag in (0, 1):
                 op = rng.choice(("add", "xor", "mov"))
-                if op == "mov":
-                    text = f"mov %r{rng.choice(_DATA_REGS)}, %i{queue}"
-                else:
-                    text = (f"{op} %r{rng.choice(_DATA_REGS)}, "
-                            f"%i{queue}, {_src(rng, params)}")
+                text = (f"mov %r{rng.choice(_DATA_REGS)}, %i{queue}"
+                        if op == "mov" else
+                        f"{op} %r{rng.choice(_DATA_REGS)}, "
+                        f"%i{queue}, {_src(rng, params)}")
                 emit({"op": text, "state": state(),
                       "checks": [f"%i{queue}.{tag}"],
                       "deq": [f"%i{queue}"], "next": next_state()})
@@ -319,10 +316,9 @@ def generate_case(seed: int, params: ArchParams = DEFAULT_PARAMS) -> dict:
         tokens = []
         for _ in range(need + extra):
             value = _imm(rng, params)
-            if queues.kinds[queue] == "uniform":
-                tag = queues.uniform_tag[queue]
-            else:
-                tag = rng.randrange(2)
+            tag = (queues.uniform_tag[queue]
+                   if queues.kinds[queue] == "uniform"
+                   else rng.randrange(2))
             tokens.append([value, tag])
         streams[queue] = tokens
     if with_forwarder:

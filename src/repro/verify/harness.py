@@ -165,6 +165,30 @@ def _run_guarded(pe, streams: dict[int, list[tuple[int, int]]],
         return {"crashed": f"{type(exc).__name__}: {exc}"}
 
 
+def measured_case_cpi(case: dict, config,
+                      params: ArchParams = DEFAULT_PARAMS) -> float | None:
+    """Worker CPI for one generated case under one pipeline config.
+
+    Runs the pipelined PE in the canonical cooperative environment
+    (inputs topped up whenever capacity frees, outputs drained every
+    cycle) and returns retired-instruction CPI, or ``None`` when the
+    case hangs or crashes.  This is the measurement side of the
+    static-bound cross-validation: the proved lower bound of
+    :func:`repro.analyze.perf.program_bounds` must never exceed it for
+    any case and any configuration (``tests/test_perf.py``).
+    """
+    name = case.get("name", "case")
+    program = assemble(case_source(case), params, name=name)
+    pe = PipelinedPE(config, params, name=name)
+    program.configure(pe)
+    result = _run_guarded(pe, case_streams(case), GOLDEN_WATCHDOG)
+    if result is None or not result.get("halted"):
+        return None
+    if pe.counters.retired == 0:
+        return None
+    return pe.counters.cpi
+
+
 _ARCH_KEYS = ("regs", "preds", "scratchpad", "outputs", "inputs_left")
 
 

@@ -109,10 +109,10 @@ def effective_capacitance(config: PipelineConfig) -> float:
 
 def base_area_um2(config: PipelineConfig) -> float:
     """Design area in um^2, before sizing pressure."""
-    if config.depth == 1:
-        area = comp.TDX_AREA_UM2 - 444.0   # relaxed-sizing single-cycle core
-    else:
-        area = comp.PIPE4_AREA_UM2          # pipeline registers are in the noise
+    # Depth 1 gets the relaxed-sizing single-cycle core; deeper designs
+    # share one figure — pipeline registers are in the noise.
+    area = (comp.TDX_AREA_UM2 - 444.0 if config.depth == 1
+            else comp.PIPE4_AREA_UM2)
     area += comp.FEATURE_AREA_UM2[
         (config.predicate_prediction, config.effective_queue_status)
     ]

@@ -351,6 +351,108 @@ class TestEmitters:
         assert region["startLine"] == 7
 
 
+def _assert_sarif_required_fields(log: dict) -> None:
+    """The SARIF 2.1.0 required-field set a consumer may rely on:
+    top-level version + runs, each run's tool.driver.name, and for each
+    result a ruleId (declared in the driver's rules), a level, a
+    message.text, and well-formed locations when present."""
+    assert log["version"] == "2.1.0"
+    assert isinstance(log["runs"], list) and log["runs"]
+    for run in log["runs"]:
+        driver = run["tool"]["driver"]
+        assert driver["name"]
+        declared = {rule["id"] for rule in driver["rules"]}
+        assert isinstance(run["results"], list)
+        for result in run["results"]:
+            assert result["ruleId"] in declared
+            assert result["level"] in ("note", "warning", "error")
+            assert result["message"]["text"]
+            for location in result.get("locations", []):
+                physical = location.get("physicalLocation")
+                if physical is not None:
+                    assert physical["artifactLocation"]["uri"]
+                    assert physical["region"]["startLine"] >= 1
+                for logical in location.get("logicalLocations", []):
+                    assert logical["name"]
+
+
+class TestSarifRequiredFields:
+    def test_lint_findings(self):
+        findings = []
+        for source in (UNREACHABLE, UNSATISFIABLE, SHADOWED, SPECULATION):
+            findings += analyze_program(assemble(source), P)
+        assert findings
+        _assert_sarif_required_fields(json.loads(render_sarif(findings)))
+
+    def test_perf_findings(self):
+        from repro.analyze.perf import workload_analyzer
+
+        analyzer, worker = workload_analyzer("gcd", scale=8)
+        findings = analyzer.findings(worker)
+        assert findings
+        _assert_sarif_required_fields(json.loads(render_sarif(findings)))
+
+    def test_empty_log_is_still_valid(self):
+        _assert_sarif_required_fields(json.loads(render_sarif([])))
+
+
+class TestFailOnThreshold:
+    """--fail-on must compare via the explicit Severity order, not the
+    labels' accidental string order ("error" < "note" < "warning")."""
+
+    def _finding(self, severity):
+        from repro.analyze import Finding
+
+        return Finding(rule="r", severity=severity, message="m")
+
+    def test_order_is_note_warning_error(self):
+        assert Severity.NOTE < Severity.WARNING < Severity.ERROR
+
+    def test_string_order_would_invert(self):
+        # The regression this guards against: alphabetical label order
+        # disagrees with the semantic order.
+        assert sorted(s.label for s in Severity) != [
+            s.label for s in sorted(Severity)]
+
+    def test_threshold_matrix(self):
+        from repro.analyze import fails_build
+
+        note = [self._finding(Severity.NOTE)]
+        warning = [self._finding(Severity.WARNING)]
+        error = [self._finding(Severity.ERROR)]
+        assert fails_build(note, "note")
+        assert not fails_build(note, "warning")
+        assert not fails_build(note, "error")
+        assert fails_build(warning, "note")
+        assert fails_build(warning, "warning")
+        assert not fails_build(warning, "error")
+        assert fails_build(error, "error")
+        assert fails_build(note + error, "warning")
+
+    def test_never_and_empty(self):
+        from repro.analyze import fails_build
+
+        assert not fails_build([self._finding(Severity.ERROR)], "never")
+        assert not fails_build([], "note")
+
+    def test_unknown_threshold_raises(self):
+        from repro.analyze import fails_build
+
+        with pytest.raises(ValueError):
+            fails_build([], "fatal")
+
+    def test_cli_note_threshold(self, tmp_path, capsys):
+        # A NOTE finding fails --fail-on note but passes the default
+        # warning threshold — wrong under string comparison, where
+        # "note" > "warning" would make notes never fail.
+        noisy = tmp_path / "spec.s"
+        noisy.write_text(SPECULATION)
+        assert analyze_main([str(noisy)]) == 0
+        capsys.readouterr()
+        assert analyze_main([str(noisy), "--fail-on", "note"]) == 1
+        capsys.readouterr()
+
+
 class TestCli:
     def test_lint_file_exit_status(self, tmp_path, capsys):
         bad = tmp_path / "bad.s"
@@ -376,6 +478,18 @@ class TestCli:
     def test_nothing_to_do_is_usage_error(self):
         with pytest.raises(SystemExit):
             analyze_main([])
+
+    def test_perf_mode(self, capsys):
+        assert analyze_main(["--perf", "--workloads", "gcd",
+                             "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "partition-bound" in {f["rule"] for f in payload["findings"]}
+
+    def test_perf_excludes_other_modes(self):
+        with pytest.raises(SystemExit):
+            analyze_main(["--perf", "--check"])
+        with pytest.raises(SystemExit):
+            analyze_main(["--perf", "--fuzz", "1"])
 
 
 # ----------------------------------------------------------------------

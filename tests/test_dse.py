@@ -5,7 +5,8 @@ import pytest
 from repro.dse.cpi import CpiTable
 from repro.dse.design_point import DesignPoint
 from repro.dse.pareto import frontier_span, pareto_frontier
-from repro.dse.sweep import frequency_grid, sweep, voltage_grid
+from repro.dse.prune import PruneOracle
+from repro.dse.sweep import close_grid, frequency_grid, sweep, voltage_grid
 from repro.pipeline.config import config_by_name
 from repro.vlsi.synthesis import synthesize
 from repro.vlsi.technology import VtFlavor
@@ -112,6 +113,74 @@ class TestSweep:
     def test_cpi_constant_across_voltage(self, cpi_table):
         points = sweep(configs=[config_by_name("TDX")], cpi_table=cpi_table)
         assert len({p.cpi for p in points}) == 1
+
+
+def _point_key(point):
+    return (point.config_name, point.vt.value, point.vdd,
+            round(point.frequency_hz), point.cpi)
+
+
+class TestPruning:
+    """Soundness of sweep(prune=...) on a small exhaustive sweep: no
+    Pareto-frontier member may ever be dropped, and pruning must carry
+    its weight (the ISSUE floor is 20% of points removed)."""
+
+    NAMES = ("TDX", "TD|X", "T|DX +P", "TD|X +Q",
+             "T|D|X", "T|D|X1|X2", "T|D|X1|X2 +P+pad")
+
+    def _configs(self):
+        return [config_by_name(name) for name in self.NAMES]
+
+    def test_pruned_sweep_preserves_frontier(self, cpi_table):
+        configs = self._configs()
+        full = sweep(configs=configs, cpi_table=cpi_table)
+        oracle = PruneOracle.from_workloads(configs, scale=cpi_table.scale)
+        pruned = sweep(configs=configs, cpi_table=cpi_table, prune=oracle)
+
+        full_keys = set(map(_point_key, full))
+        pruned_keys = set(map(_point_key, pruned))
+        assert pruned_keys <= full_keys          # never invents points
+        assert sorted(map(_point_key, pareto_frontier(pruned))) == \
+            sorted(map(_point_key, pareto_frontier(full)))
+
+        stats = oracle.stats
+        assert stats.points_total == len(full)
+        assert stats.points_evaluated == len(pruned)
+        assert stats.point_rate >= 0.20, stats.as_dict()
+
+    def test_config_level_pruning_skips_simulation(self, tmp_path):
+        # A config whose entire best-case grid is dominated must never
+        # reach the simulator.  A synthetic huge floor forces the case
+        # (mechanism test only — an unsound oracle voids the frontier
+        # guarantee, so nothing else is asserted about the output).
+        fast, slow = config_by_name("TDX"), config_by_name("T|D|X1|X2")
+        table = CpiTable(scale=8, cache_path=str(tmp_path / "cpi.json"))
+        oracle = PruneOracle({fast.name: 1.0, slow.name: 1000.0}, batch=1)
+        points = sweep(configs=[fast, slow], cpi_table=table, prune=oracle)
+        assert oracle.stats.configs_pruned == 1
+        assert slow.name not in table._cpi       # no simulation spent
+        assert {p.config_name for p in points} == {fast.name}
+
+    def test_unknown_config_defaults_to_universal_floor(self):
+        oracle = PruneOracle({})
+        assert oracle.lower_bound(config_by_name("TDX")) == 1.0
+
+    def test_oracle_floors_are_sound(self, cpi_table):
+        # The static floor the pruning relies on: per config, the
+        # workload-mean lower bound never exceeds the measured mean CPI.
+        configs = self._configs()
+        oracle = PruneOracle.from_workloads(configs, scale=cpi_table.scale)
+        for config in configs:
+            assert oracle.lower_bound(config) <= \
+                cpi_table.cpi(config) + 1e-9, config.name
+
+    def test_close_grid_matches_unpruned_sweep(self, cpi_table):
+        config = config_by_name("TDX")
+        grid = close_grid(config)
+        points = sweep(configs=[config], cpi_table=cpi_table)
+        assert len(grid) == len(points)
+        assert [round(s.f_target_hz) for s in grid] == \
+            [round(p.frequency_hz) for p in points]
 
 
 class TestCpiTable:
